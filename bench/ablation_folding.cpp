@@ -1,0 +1,80 @@
+// Ablation: instruction folding (§6.4).
+//
+// The paper's Chapter 7 results exclude folding ("The analysis reported
+// in Chapter 7 does not account for this folding enhancement") but
+// Table 2 motivates it: Locals+Stack instructions are 26-54 % of the
+// dynamic mix. This harness measures what the implemented stack-move
+// folding actually buys: elided node counts and the IPC delta on the
+// heterogeneous fabric.
+#include <cstdio>
+
+#include "fabric/folding.hpp"
+#include "bench_common.hpp"
+
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+  const int stride = std::max(javaflow::bench::env_stride(), 2);
+
+  javaflow::analysis::print_header(
+      "Ablation — instruction folding (§6.4 enhancement)");
+
+  std::int64_t insts = 0, foldable = 0;
+  for (const auto* m : ctx.all_methods()) {
+    insts += static_cast<std::int64_t>(m->code.size());
+    foldable += javaflow::fabric::foldable_count(*m);
+  }
+  std::printf(
+      "corpus: %lld instructions, %lld foldable stack movers (%.1f%%)\n",
+      static_cast<long long>(insts), static_cast<long long>(foldable),
+      100.0 * static_cast<double>(foldable) / static_cast<double>(insts));
+
+  javaflow::sim::Engine engine(javaflow::sim::config_by_name("Hetero2"));
+  double base_ipc_sum = 0, folded_ipc_sum = 0;
+  std::int64_t base_nodes = 0, folded_nodes = 0;
+  int n = 0;
+  const auto methods = ctx.all_methods();
+  for (std::size_t i = 0; i < methods.size();
+       i += static_cast<std::size_t>(stride)) {
+    const auto& m = *methods[i];
+    const auto graph =
+        javaflow::fabric::build_dataflow_graph(m, ctx.corpus.program.pool);
+    javaflow::sim::BranchPredictor bp1(
+        javaflow::sim::BranchPredictor::Scenario::BP1);
+    const auto base = engine.run(m, graph, bp1);
+    const auto folded_method =
+        javaflow::fabric::fold_moves(m, ctx.corpus.program.pool);
+    if (!folded_method.ok || !base.fits || !base.completed) continue;
+    javaflow::sim::BranchPredictor bp1b(
+        javaflow::sim::BranchPredictor::Scenario::BP1);
+    const auto folded =
+        engine.run(folded_method.method, folded_method.graph, bp1b);
+    if (!folded.fits || !folded.completed) continue;
+    base_ipc_sum += base.ipc();
+    // Fair comparison: useful (unfolded) instructions per folded cycle.
+    folded_ipc_sum += static_cast<double>(base.instructions_fired) /
+                      static_cast<double>(folded.mesh_cycles);
+    base_nodes += base.max_slot + 1;
+    folded_nodes += folded.max_slot + 1;
+    ++n;
+  }
+  Table t("Folding ablation — Hetero2, BP-1 (per-method means)");
+  t.columns({"Variant", "Effective IPC", "Fabric nodes"});
+  t.row({"unfolded (paper Ch.7)", Table::num(base_ipc_sum / n, 3),
+         Table::big(static_cast<std::uint64_t>(base_nodes))});
+  t.row({"folded (§6.4)", Table::num(folded_ipc_sum / n, 3),
+         Table::big(static_cast<std::uint64_t>(folded_nodes))});
+  t.print();
+  std::printf(
+      "\n%d methods compared. Folding returns %.1f%% of fabric nodes to\n"
+      "the free pool and speeds execution by %.1f%% — the direction the\n"
+      "paper predicted, small because JAVAC-style code uses few explicit\n"
+      "stack movers (the larger locals-folding idea remains future work,\n"
+      "as in the paper).\n",
+      n,
+      100.0 * (1.0 - static_cast<double>(folded_nodes) /
+                         static_cast<double>(base_nodes)),
+      100.0 * (folded_ipc_sum / base_ipc_sum - 1.0));
+  return 0;
+}

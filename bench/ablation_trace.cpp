@@ -1,0 +1,64 @@
+// Ablation: synthetic branch scenarios (BP-1/BP-2) vs real traces.
+//
+// The paper ran everything under synthetic 50 %/90 % branch rules because
+// it had no trace data (§5.2). This reproduction owns the interpreter, so
+// it can collect real control-flow traces from the workload drivers and
+// replay them on the machine — quantifying how well the paper's
+// methodology approximates real behaviour.
+#include <cstdio>
+
+#include "analysis/trace.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "bench_common.hpp"
+
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+
+  // Collect traces while the drivers run.
+  javaflow::jvm::Interpreter vm(ctx.corpus.program, &ctx.profiler);
+  javaflow::analysis::TraceCollector collector(vm);
+  for (javaflow::workloads::Benchmark& b : ctx.corpus.benchmarks) {
+    b.run(vm);
+  }
+
+  javaflow::analysis::print_header(
+      "Ablation — BP-1/BP-2 synthetic scenarios vs interpreter traces");
+
+  Table t("Hetero2 kernel IPC under three branch sources");
+  t.columns({"Method", "BP-1", "BP-2", "Trace", "Trace/BP-avg"});
+  javaflow::sim::Engine engine(javaflow::sim::config_by_name("Hetero2"));
+  double ratio_sum = 0;
+  int n = 0;
+  for (const auto* m : ctx.kernel_methods()) {
+    if (collector.events_for(m->name) == 0) continue;  // never executed
+    const auto graph =
+        javaflow::fabric::build_dataflow_graph(*m, ctx.corpus.program.pool);
+    javaflow::sim::BranchPredictor bp1(
+        javaflow::sim::BranchPredictor::Scenario::BP1);
+    javaflow::sim::BranchPredictor bp2(
+        javaflow::sim::BranchPredictor::Scenario::BP2);
+    auto trace = collector.predictor_for(*m);
+    const auto r1 = engine.run(*m, graph, bp1);
+    const auto r2 = engine.run(*m, graph, bp2);
+    const auto rt = engine.run(*m, graph, trace);
+    if (!r1.completed || !r2.completed || !rt.completed || r1.ipc() <= 0) {
+      continue;
+    }
+    const double bp_avg = (r1.ipc() + r2.ipc()) / 2;
+    const double ratio = rt.ipc() / bp_avg;
+    ratio_sum += ratio;
+    ++n;
+    t.row({m->name, Table::num(r1.ipc(), 3), Table::num(r2.ipc(), 3),
+           Table::num(rt.ipc(), 3), Table::num(ratio, 2)});
+  }
+  t.print();
+  std::printf(
+      "\n%d kernels; mean Trace/BP ratio %.2f. Ratios near 1 validate the\n"
+      "paper's synthetic methodology: the fabric's relative performance is\n"
+      "driven by instruction mix and transfer distances, not by the exact\n"
+      "branch sequence.\n",
+      n, ratio_sum / n);
+  return 0;
+}

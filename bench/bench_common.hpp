@@ -1,0 +1,82 @@
+// Shared context for the table-reproduction harnesses.
+//
+// Environment knobs:
+//   JAVAFLOW_BENCH_STRIDE=<k>  subsample the corpus (keep every k-th
+//                              method) for quick runs; default 1 (all).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/figure_of_merit.hpp"
+#include "analysis/report.hpp"
+#include "jvm/interpreter.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow::bench {
+
+inline int env_stride() {
+  if (const char* s = std::getenv("JAVAFLOW_BENCH_STRIDE")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  return 1;
+}
+
+struct Context {
+  workloads::Corpus corpus;
+  jvm::Profiler profiler;  // filled by run_drivers()
+
+  Context() : corpus(workloads::make_corpus({})) {}
+
+  // Runs every benchmark driver under the reference interpreter,
+  // populating the dynamic-mix profiler (the paper's §5.2 methodology).
+  void run_drivers() {
+    jvm::Interpreter vm(corpus.program, &profiler);
+    for (workloads::Benchmark& b : corpus.benchmarks) {
+      b.run(vm);
+    }
+  }
+
+  std::vector<const bytecode::Method*> all_methods() const {
+    std::vector<const bytecode::Method*> out;
+    out.reserve(corpus.program.methods.size());
+    for (const bytecode::Method& m : corpus.program.methods) {
+      out.push_back(&m);
+    }
+    return out;
+  }
+
+  std::vector<const bytecode::Method*> kernel_methods() const {
+    std::vector<const bytecode::Method*> out;
+    for (std::size_t i = 0; i < corpus.kernel_methods; ++i) {
+      out.push_back(&corpus.program.methods[i]);
+    }
+    return out;
+  }
+
+  // Filter 2's hot set: the kernels the drivers actually execute are the
+  // dynamically weighted top of this corpus (generated methods never run
+  // under the interpreter — documented in DESIGN.md).
+  std::vector<std::string> hot_method_names() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < corpus.kernel_methods; ++i) {
+      out.push_back(corpus.program.methods[i].name);
+    }
+    return out;
+  }
+
+  analysis::Sweep run_sweep() const {
+    analysis::SweepOptions options;
+    options.stride = env_stride();
+    return analysis::run_sweep(all_methods(), corpus.program.pool,
+                               hot_method_names(), options);
+  }
+};
+
+inline void paper_note(const std::string& text) {
+  std::printf("paper: %s\n", text.c_str());
+}
+
+}  // namespace javaflow::bench

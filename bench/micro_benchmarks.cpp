@@ -1,0 +1,115 @@
+// google-benchmark micro-benchmarks for the reproduction's own hot
+// machinery: graph building, resolution, engine runs, interpreter
+// throughput, and network math.
+#include <benchmark/benchmark.h>
+
+#include "bytecode/assembler.hpp"
+#include "core/javaflow.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "jvm/interpreter.hpp"
+#include "net/mesh_network.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace javaflow;
+
+struct Fixture {
+  bytecode::Program program;
+  bytecode::Method method;
+  Fixture() {
+    workloads::GeneratorOptions opt;
+    opt.target_size = 120;
+    method = workloads::generate_method(program, "micro.m(IIADFJ)I",
+                                        "micro", 4242, opt);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_MeshDistance(benchmark::State& state) {
+  net::MeshNetwork mesh(10);
+  std::int64_t acc = 0;
+  int a = 0;
+  for (auto _ : state) {
+    acc += mesh.distance(a & 1023, (a * 37) & 1023);
+    ++a;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_MeshDistance);
+
+void BM_BuildDataflowGraph(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    auto g = fabric::build_dataflow_graph(f.method, f.program.pool);
+    benchmark::DoNotOptimize(g.total_dflows);
+  }
+}
+BENCHMARK(BM_BuildDataflowGraph);
+
+void BM_DeployMethod(benchmark::State& state) {
+  Fixture& f = fixture();
+  JavaFlowMachine machine(sim::config_by_name("Hetero2"));
+  for (auto _ : state) {
+    auto d = machine.deploy(f.method, f.program.pool);
+    benchmark::DoNotOptimize(d.resolution.total_cycles);
+  }
+}
+BENCHMARK(BM_DeployMethod);
+
+void BM_ExecuteMethod(benchmark::State& state) {
+  Fixture& f = fixture();
+  const std::string config =
+      state.range(0) == 0 ? "Baseline" : "Hetero2";
+  JavaFlowMachine machine(sim::config_by_name(config));
+  auto d = machine.deploy(f.method, f.program.pool);
+  for (auto _ : state) {
+    auto r = machine.execute(d, sim::BranchPredictor::Scenario::BP1);
+    benchmark::DoNotOptimize(r.instructions_fired);
+  }
+  state.SetLabel(config);
+}
+BENCHMARK(BM_ExecuteMethod)->Arg(0)->Arg(1);
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  bytecode::Program p;
+  bytecode::Assembler a(p, "micro.sum(I)I", "micro");
+  a.args({bytecode::ValueType::Int}).returns(bytecode::ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.iconst(0).istore(1);
+  a.goto_(test);
+  a.bind(body);
+  a.iload(1).iload(0).op(bytecode::Op::iadd).istore(1);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(1).op(bytecode::Op::ireturn);
+  p.methods.push_back(a.build());
+  jvm::Interpreter vm(p);
+  for (auto _ : state) {
+    auto v = vm.invoke("micro.sum(I)I", {jvm::Value::make_int(1000)});
+    benchmark::DoNotOptimize(v.as_int());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * 7);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+void BM_GenerateMethod(benchmark::State& state) {
+  workloads::GeneratorOptions opt;
+  opt.target_size = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    bytecode::Program p;
+    auto m = workloads::generate_method(p, "g.x(IIADFJ)I", "g", seed++, opt);
+    benchmark::DoNotOptimize(m.code.size());
+  }
+}
+BENCHMARK(BM_GenerateMethod)->Arg(30)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces Table 6 (static mix analysis): the per-benchmark static
+// instruction mix that justifies the heterogeneous fabric's 6/1/2/1 node
+// ratio (Figure 26).
+//
+// Paper conclusion row: 60 % arith, 10 % float, 10 % control, 20 %
+// storage.
+#include <cstdio>
+
+#include "analysis/mix.hpp"
+#include "bench_common.hpp"
+
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+
+  javaflow::analysis::print_header(
+      "Table 6 — Static Mix Analysis, kernel (hot) methods");
+  javaflow::bench::paper_note(
+      "conclusion row: ~60% arith / 10% float / 10% control / 20% storage");
+  Table hot("Static mix — hand-written kernels (the paper's 90% methods)");
+  hot.columns({"Benchmark", "%Arith", "%Float", "%Control", "%Storage",
+               "Total"});
+  for (const auto& row :
+       javaflow::analysis::static_mix(ctx.kernel_methods())) {
+    hot.row({row.benchmark, Table::pct(row.arith), Table::pct(row.fp),
+             Table::pct(row.control), Table::pct(row.storage),
+             Table::big(row.total_insts)});
+  }
+  hot.print();
+
+  javaflow::analysis::print_header(
+      "Table 6 (extended) — Static mix of the full 1605-method corpus");
+  Table all("Static mix — full corpus (kernels + generated tail)");
+  all.columns({"Benchmark", "%Arith", "%Float", "%Control", "%Storage",
+               "Total"});
+  for (const auto& row : javaflow::analysis::static_mix(ctx.all_methods())) {
+    if (row.benchmark != "Total") continue;
+    all.row({row.benchmark, Table::pct(row.arith), Table::pct(row.fp),
+             Table::pct(row.control), Table::pct(row.storage),
+             Table::big(row.total_insts)});
+  }
+  all.print();
+  return 0;
+}

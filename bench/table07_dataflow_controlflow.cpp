@@ -1,0 +1,63 @@
+// Reproduces Table 7 (benchmark DataFlow and ControlFlow analysis) and
+// Table 8 (analysis summary).
+//
+// Paper's key results: ZERO DataFlow back merges anywhere, and the serial
+// resolution completing in ~2x the instruction count ("Total Cycles" /
+// "Total Insts" = 45807/22537 = 2.03).
+#include <cstdio>
+
+#include "analysis/dataflow_analysis.hpp"
+#include "analysis/mix.hpp"
+#include "bench_common.hpp"
+
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+  ctx.run_drivers();
+
+  const auto records = javaflow::analysis::analyze_dataflow(
+      ctx.kernel_methods(), ctx.corpus.program.pool);
+
+  javaflow::analysis::print_header(
+      "Table 7 — Benchmark DataFlow and Control Flow Analysis");
+  javaflow::bench::paper_note(
+      "Sum row: 812 fwd, 187 back, 22537 insts, 45807 cycles (2.03x), "
+      "18082 DFlows, 49 merges, 0 back merges.");
+  Table t7("DataFlow / ControlFlow analysis — kernel methods");
+  t7.columns({"Benchmark", "Forward", "Back", "Total Insts", "Total Cycles",
+              "Cycles/Inst", "DFlows", "Merges", "DFlows Back"});
+  for (const auto& row : javaflow::analysis::benchmark_dataflow_rows(records)) {
+    t7.row({row.benchmark, std::to_string(row.forward),
+            std::to_string(row.back), Table::big(row.total_insts),
+            Table::big(row.total_cycles),
+            Table::num(static_cast<double>(row.total_cycles) /
+                           static_cast<double>(row.total_insts),
+                       2),
+            Table::big(row.total_dflows), std::to_string(row.total_merges),
+            std::to_string(row.total_back_merges)});
+  }
+  t7.print();
+
+  // Table 8 roll-up.
+  javaflow::analysis::print_header("Table 8 — Analysis Summary");
+  javaflow::bench::paper_note(
+      "avg 71 insts/method, 6 regs/method, 4.6 fwd branches, 1 back "
+      "branch; static mix 60/10/10/20.");
+  const auto s = javaflow::analysis::summarize_dataflow(records);
+  const auto util = javaflow::analysis::method_utilization(ctx.profiler);
+  std::uint64_t dyn_ops = 0;
+  for (const auto& row : util) dyn_ops += row.total_ops;
+  Table t8("Summary");
+  t8.columns({"Quantity", "Measured", "Paper"});
+  t8.row({"Dynamic instructions executed", Table::big(dyn_ops), "2.7e11"});
+  t8.row({"Hot methods analyzed", std::to_string(records.size()), "160"});
+  t8.row({"Avg insts/method", Table::num(s.static_insts.mean, 1), "71"});
+  t8.row({"Avg registers/method", Table::num(s.local_regs.mean, 1), "6"});
+  t8.row({"Avg forward branches", Table::num(s.forward_jumps.mean, 1),
+          "4.6"});
+  t8.row({"Avg back branches", Table::num(s.back_jumps.mean, 1), "1"});
+  t8.row({"Back merges (total)", std::to_string(s.back_merges_total), "0"});
+  t8.print();
+  return 0;
+}

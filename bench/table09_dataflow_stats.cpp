@@ -1,0 +1,79 @@
+// Reproduces Tables 9-14: the Filter 1 dataflow statistics — method
+// sizes/registers/stack (9), fan-out and arcs (10), needs-up queue depth
+// (11), merges (12), and forward/backward jump counts and lengths (13-14).
+#include <cstdio>
+
+#include "analysis/dataflow_analysis.hpp"
+#include "bench_common.hpp"
+
+using javaflow::analysis::Summary;
+using javaflow::analysis::Table;
+
+namespace {
+
+void stat_table(const std::string& title,
+                const std::vector<std::pair<std::string, Summary>>& cols,
+                const std::string& note) {
+  javaflow::analysis::print_header(title);
+  javaflow::bench::paper_note(note);
+  Table t(title);
+  t.columns({"Stat", "Mean", "StdDev", "Median", "Max", "Min"});
+  for (const auto& [name, s] : cols) {
+    t.row({name, Table::num(s.mean), Table::num(s.std_dev),
+           Table::num(s.median), Table::num(s.max), Table::num(s.min)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  javaflow::bench::Context ctx;
+
+  // Filter 1 population: 10 < insts < 1000.
+  std::vector<const javaflow::bytecode::Method*> filtered;
+  for (const auto* m : ctx.all_methods()) {
+    if (m->code.size() > 10 && m->code.size() < 1000) filtered.push_back(m);
+  }
+  std::printf("Filter 1 population: %zu methods (paper: 915)\n",
+              filtered.size());
+  const auto records =
+      javaflow::analysis::analyze_dataflow(filtered, ctx.corpus.program.pool);
+  const auto s = javaflow::analysis::summarize_dataflow(records);
+
+  stat_table("Table 9 — General Data Flow Analysis (Filter 1)",
+             {{"Static Inst", s.static_insts},
+              {"Local Regs", s.local_regs},
+              {"Stack", s.stack}},
+             "mean 56 / median 29 insts; 4.45 regs; 3.88 stack; "
+             "back merge 0 everywhere");
+  std::printf("back merges total: %lld (paper: 0)\n",
+              static_cast<long long>(s.back_merges_total));
+
+  stat_table("Table 10 — DataFlow FanOut and Arc Analysis (Filter 1)",
+             {{"FanOut Avg", s.fanout_avg},
+              {"FanOut Max", s.fanout_max},
+              {"Arc Avg", s.arc_avg},
+              {"Arc Max", s.arc_max}},
+             "FanOut mean 1.04 / max 4; Arc avg 1.88 / max up to 187");
+
+  stat_table("Table 11 — DataFlow Resolution Queue Analysis (Filter 1)",
+             {{"Max Q Up", s.max_queue_up}},
+             "mean 3.03, median 3, max 11");
+
+  stat_table("Table 12 — DataFlow Merge Analysis (Filter 1)",
+             {{"Merges", s.merges}}, "mean 0.29, median 0, max 9");
+
+  stat_table("Table 13 — Jump Forward Analysis (Filter 1)",
+             {{"Forward Jumps", s.forward_jumps},
+              {"Avg Length", s.forward_len_avg},
+              {"Max Length", s.forward_len_max}},
+             "mean 3.07 jumps, avg length 12, max 803");
+
+  stat_table("Table 14 — Jump Backward Analysis (Filter 1)",
+             {{"Back Jumps", s.back_jumps},
+              {"Avg Length", s.back_len_avg},
+              {"Max Length", s.back_len_max}},
+             "mean 0.61 jumps, median 0, far fewer than forward jumps");
+  return 0;
+}

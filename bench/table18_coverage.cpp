@@ -1,0 +1,54 @@
+// Reproduces Table 18 (execution coverage under BP-1/BP-2), Table 19
+// (ratio of instructions to max node per configuration) and Table 20
+// (heterogeneous addressing detail).
+//
+// Paper: coverage 83 % / 80 %; ratios 1.0/1.0/1.0/1.0/2.0/3.11; hetero
+// detail mean 3.11, median 3.09, max 6.53, min 1.35.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using javaflow::analysis::Filter;
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+  const auto sweep = ctx.run_sweep();
+
+  javaflow::analysis::print_header(
+      "Table 18 — Execution Coverage, All Methods");
+  javaflow::bench::paper_note("BP-1: 83%, BP-2: 80%");
+  Table t18("Inst Exe / Inst Static");
+  t18.columns({"Scenario", "Mean coverage"});
+  for (const auto& row : javaflow::analysis::coverage_rows(sweep)) {
+    t18.row({row.scenario, Table::pct(row.mean_coverage)});
+  }
+  t18.print();
+
+  javaflow::analysis::print_header(
+      "Table 19 — Ratio of Instructions to Max Node");
+  javaflow::bench::paper_note(
+      "Baseline/Compact*: 1.0; Sparse2: 2.0; Hetero2: 3.11");
+  Table t19("Nodes per instruction, by configuration");
+  t19.columns({"Case", "Inst/MaxNode (mean)"});
+  const auto ratios =
+      javaflow::analysis::node_ratio_rows(sweep, Filter::All);
+  for (const auto& row : ratios) {
+    t19.row({row.config, Table::num(row.ratio.mean, 2)});
+  }
+  t19.print();
+
+  javaflow::analysis::print_header(
+      "Table 20 — Heterogeneous Addressing Detail (Filter 1)");
+  javaflow::bench::paper_note(
+      "average 3.11, median 3.09, std 1.81, max 6.53, min 1.35");
+  const auto f1 = javaflow::analysis::node_ratio_rows(sweep, Filter::Filter1);
+  const auto& hetero = f1.back().ratio;  // Hetero2 is the last config
+  Table t20("Hetero2 Inst/MaxNode");
+  t20.columns({"Average", "Median", "Std Dev", "Max", "Min"});
+  t20.row({Table::num(hetero.mean), Table::num(hetero.median),
+           Table::num(hetero.std_dev), Table::num(hetero.max),
+           Table::num(hetero.min)});
+  t20.print();
+  return 0;
+}

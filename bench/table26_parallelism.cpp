@@ -1,0 +1,26 @@
+// Reproduces Table 26 — parallelism: the average percentage of mesh
+// cycles with two or more Instruction Nodes executing simultaneously.
+//
+// Paper: 40% / 37% / 33% / 24% / 13% / 12% down the configuration list.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using javaflow::analysis::Table;
+
+int main() {
+  javaflow::bench::Context ctx;
+  const auto sweep = ctx.run_sweep();
+
+  javaflow::analysis::print_header("Table 26 — Parallelism, All Methods");
+  javaflow::bench::paper_note(
+      "Baseline 40%, Compact10 37%, Compact4 33%, Compact2 24%, "
+      "Sparse2 13%, Hetero2 12%");
+  Table t26("Avg % cycles with >= 2 instructions executing");
+  t26.columns({"Case", "Parallel fraction"});
+  for (const auto& row : javaflow::analysis::parallelism_rows(sweep)) {
+    t26.row({row.config, Table::pct(row.mean_fraction_2plus)});
+  }
+  t26.print();
+  return 0;
+}

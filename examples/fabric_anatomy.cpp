@@ -1,0 +1,87 @@
+// Fabric anatomy: a guided walk through what the machine does with a
+// method — the loading stream, the resolved producer/consumer links, and
+// the token-bundle execution — printed step by step. This is the
+// explainer-style example mirroring the paper's §6.2-§6.3 narrative.
+//
+//   $ ./build/examples/fabric_anatomy
+#include <cstdio>
+
+#include "bytecode/printer.hpp"
+#include "core/javaflow.hpp"
+
+using namespace javaflow;
+
+int main() {
+  // The paper's Figure 21 method, extended with a small loop so the
+  // backward-flush machinery appears too.
+  bytecode::Program program;
+  bytecode::Assembler a(program, "anatomy.demo(III)I", "example");
+  a.args({bytecode::ValueType::Int, bytecode::ValueType::Int,
+          bytecode::ValueType::Int})
+      .returns(bytecode::ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.iload(0).iload(1).op(bytecode::Op::iadd);
+  a.iload(2).op(bytecode::Op::iadd).istore(3);
+  a.goto_(test);
+  a.bind(body);
+  a.iload(3).iconst(2).op(bytecode::Op::imul).istore(3);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(3).op(bytecode::Op::ireturn);
+  const bytecode::Method m = a.build();
+
+  std::printf("=== 1. The method (JAVAP view, Figure 28 style) ===\n%s\n",
+              bytecode::disassemble(m, program.pool).c_str());
+
+  std::printf("=== 2. Loading (Figure 20) ===\n");
+  for (const auto& cfg_name : {"Compact2", "Sparse2", "Hetero2"}) {
+    JavaFlowMachine machine(sim::config_by_name(cfg_name));
+    const DeployedMethod d = machine.deploy(m, program.pool);
+    std::printf(
+        "  %-10s greedy load spans %2d nodes for %2zu instructions "
+        "(%.2f nodes/inst), stream takes %lld serial cycles\n",
+        cfg_name, d.placement.max_slot + 1, m.code.size(),
+        d.placement.nodes_per_instruction(m.code.size()),
+        static_cast<long long>(d.placement.load_cycles));
+  }
+
+  JavaFlowMachine machine(sim::config_by_name("Compact2"));
+  const DeployedMethod d = machine.deploy(m, program.pool);
+  std::printf(
+      "\n=== 3. Address resolution (Figures 21-22) ===\n"
+      "  phase A (addresses down): %lld cycles\n"
+      "  phase B (needs up):       %lld cycles, max queue %d\n"
+      "  total: %lld cycles for %zu instructions (~%.1fx, Table 7)\n",
+      static_cast<long long>(d.resolution.phase_a_cycles),
+      static_cast<long long>(d.resolution.phase_b_cycles),
+      d.resolution.max_queue_up,
+      static_cast<long long>(d.resolution.total_cycles), m.code.size(),
+      static_cast<double>(d.resolution.total_cycles) /
+          static_cast<double>(m.code.size()));
+  std::printf("  producer -> consumer links:\n");
+  for (const fabric::Edge& e : d.resolution.graph.edges) {
+    std::printf("    %2d -> %2d side %d%s\n", e.producer, e.consumer,
+                e.side, e.merge ? "  (merge)" : "");
+  }
+
+  std::printf(
+      "\n=== 4. Execution (token bundle, Figure 23 + §6.3) ===\n");
+  for (const auto scenario : {sim::BranchPredictor::Scenario::BP1,
+                              sim::BranchPredictor::Scenario::BP2}) {
+    const auto r = machine.execute(d, scenario);
+    std::printf(
+        "  %s: %lld fired / %lld mesh cycles -> IPC %.3f, coverage "
+        "%.0f%%, serial msgs %lld, mesh msgs %lld\n",
+        scenario == sim::BranchPredictor::Scenario::BP1 ? "BP-1" : "BP-2",
+        static_cast<long long>(r.instructions_fired),
+        static_cast<long long>(r.mesh_cycles), r.ipc(), r.coverage() * 100,
+        static_cast<long long>(r.serial_messages),
+        static_cast<long long>(r.mesh_messages));
+  }
+  std::printf(
+      "\nThe loop's conditional back jump is taken 9 of 10 times; each\n"
+      "taken pass buffers the bundle until TAIL arrives, replays it up\n"
+      "the reverse serial network, and resets the loop body (§6.3).\n");
+  return 0;
+}

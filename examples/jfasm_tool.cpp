@@ -1,0 +1,137 @@
+// jfasm_tool — command-line front end for the library.
+//
+//   jfasm_tool dump                        write the kernel corpus as .jfasm
+//   jfasm_tool list <file.jfasm>           list methods in a program image
+//   jfasm_tool disasm <file.jfasm> <name>  JAVAP-style listing of a method
+//   jfasm_tool run <file.jfasm> <name> [config] [bp1|bp2]
+//                                          deploy + execute on the fabric
+//
+// The .jfasm format is the reproduction's analogue of the Jasmine
+// assembler files the paper's analysis pipeline consumed (§5.3).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bytecode/printer.hpp"
+#include "bytecode/textio.hpp"
+#include "core/javaflow.hpp"
+#include "workloads/corpus.hpp"
+
+using namespace javaflow;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  jfasm_tool dump\n"
+               "  jfasm_tool list <file.jfasm>\n"
+               "  jfasm_tool disasm <file.jfasm> <method>\n"
+               "  jfasm_tool run <file.jfasm> <method> [config] [bp1|bp2]\n");
+  return 2;
+}
+
+bytecode::Program load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return bytecode::parse_program(buf.str());
+}
+
+int cmd_dump() {
+  workloads::CorpusOptions opt;
+  opt.total_methods = 0;  // kernels only
+  const workloads::Corpus corpus = workloads::make_corpus(opt);
+  bytecode::write_program(corpus.program, std::cout);
+  return 0;
+}
+
+int cmd_list(const char* path) {
+  const bytecode::Program p = load(path);
+  for (const auto& m : p.methods) {
+    std::printf("%-70s %4zu insts  %2d locals  %2d stack%s\n",
+                m.name.c_str(), m.code.size(), m.max_locals, m.max_stack,
+                m.is_static ? "" : "  (instance)");
+  }
+  std::printf("%zu methods, %zu classes\n", p.methods.size(),
+              p.classes.size());
+  return 0;
+}
+
+int cmd_disasm(const char* path, const char* name) {
+  const bytecode::Program p = load(path);
+  const bytecode::Method* m = p.find(name);
+  if (m == nullptr) {
+    std::fprintf(stderr, "no such method: %s\n", name);
+    return 1;
+  }
+  std::printf("%s", bytecode::disassemble(*m, p.pool).c_str());
+  return 0;
+}
+
+int cmd_run(const char* path, const char* name, const char* config,
+            const char* scenario) {
+  const bytecode::Program p = load(path);
+  const bytecode::Method* m = p.find(name);
+  if (m == nullptr) {
+    std::fprintf(stderr, "no such method: %s\n", name);
+    return 1;
+  }
+  JavaFlowMachine machine(sim::config_by_name(config));
+  const DeployedMethod d = machine.deploy(*m, p.pool);
+  if (!d.ok()) {
+    std::fprintf(stderr, "%s does not fit the %s fabric\n", name, config);
+    return 1;
+  }
+  const auto bp = std::strcmp(scenario, "bp2") == 0
+                      ? sim::BranchPredictor::Scenario::BP2
+                      : sim::BranchPredictor::Scenario::BP1;
+  const sim::RunMetrics r = machine.execute(d, bp);
+  std::printf(
+      "%s on %s (%s):\n"
+      "  placement : %d nodes for %zu instructions (%.2f nodes/inst)\n"
+      "  resolution: %lld serial cycles (%.2fx insts), %d DFlows, "
+      "%d merges\n"
+      "  execution : %s, %lld fired / %lld mesh cycles, IPC %.3f,\n"
+      "              coverage %.0f%%, parallel(2+) %.0f%%\n",
+      name, config, scenario, d.placement.max_slot + 1, m->code.size(),
+      d.placement.nodes_per_instruction(m->code.size()),
+      static_cast<long long>(d.resolution.total_cycles),
+      static_cast<double>(d.resolution.total_cycles) /
+          static_cast<double>(m->code.size()),
+      d.resolution.total_dflows, d.resolution.merges,
+      r.completed ? (r.exception ? "exception" : "completed") : "stuck",
+      static_cast<long long>(r.instructions_fired),
+      static_cast<long long>(r.mesh_cycles), r.ipc(), 100 * r.coverage(),
+      100 * r.parallel_2plus());
+  return r.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "dump") == 0) {
+      return cmd_dump();
+    }
+    if (argc >= 3 && std::strcmp(argv[1], "list") == 0) {
+      return cmd_list(argv[2]);
+    }
+    if (argc >= 4 && std::strcmp(argv[1], "disasm") == 0) {
+      return cmd_disasm(argv[2], argv[3]);
+    }
+    if (argc >= 4 && std::strcmp(argv[1], "run") == 0) {
+      return cmd_run(argv[2], argv[3], argc > 4 ? argv[4] : "Hetero2",
+                     argc > 5 ? argv[5] : "bp1");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,120 @@
+#include "analysis/dataflow_analysis.hpp"
+
+#include "fabric/loader.hpp"
+
+namespace javaflow::analysis {
+
+std::vector<MethodDataflowRecord> analyze_dataflow(
+    const std::vector<const bytecode::Method*>& methods,
+    const bytecode::ConstantPool& pool) {
+  fabric::FabricOptions options;
+  options.layout = fabric::LayoutKind::Compact;
+  fabric::Fabric fabric(options);
+
+  std::vector<MethodDataflowRecord> records;
+  records.reserve(methods.size());
+  for (const bytecode::Method* m : methods) {
+    const fabric::Placement placement = fabric::load_method(fabric, *m);
+    if (!placement.fits) continue;
+    const fabric::ResolutionResult r =
+        fabric::resolve(fabric, *m, placement, pool);
+    if (!r.ok) continue;
+    MethodDataflowRecord rec;
+    rec.method = m->name;
+    rec.benchmark = m->benchmark;
+    rec.static_insts = static_cast<std::int32_t>(m->code.size());
+    rec.max_locals = m->max_locals;
+    rec.max_stack = m->max_stack;
+    rec.forward_jumps = r.forward_jumps.count;
+    rec.back_jumps = r.back_jumps.count;
+    rec.forward_len_avg = r.forward_jumps.avg_length;
+    rec.forward_len_max = r.forward_jumps.max_length;
+    rec.back_len_avg = r.back_jumps.avg_length;
+    rec.back_len_max = r.back_jumps.max_length;
+    rec.total_dflows = r.total_dflows;
+    rec.merges = r.merges;
+    rec.back_merges = r.back_merges;
+    rec.resolution_cycles = r.total_cycles;
+    rec.max_queue_up = r.max_queue_up;
+    rec.fanout_avg = r.fanout_avg;
+    rec.fanout_max = r.fanout_max;
+    rec.arc_avg = r.arc_avg;
+    rec.arc_max = r.arc_max;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<BenchmarkDataflowRow> benchmark_dataflow_rows(
+    const std::vector<MethodDataflowRecord>& records) {
+  std::map<std::string, BenchmarkDataflowRow> rows;
+  for (const MethodDataflowRecord& rec : records) {
+    BenchmarkDataflowRow& row = rows[rec.benchmark];
+    row.benchmark = rec.benchmark;
+    row.forward += rec.forward_jumps;
+    row.back += rec.back_jumps;
+    row.total_insts += rec.static_insts;
+    row.total_cycles += rec.resolution_cycles;
+    row.total_dflows += rec.total_dflows;
+    row.total_merges += rec.merges;
+    row.total_back_merges += rec.back_merges;
+  }
+  std::vector<BenchmarkDataflowRow> out;
+  BenchmarkDataflowRow total;
+  total.benchmark = "Sum";
+  for (auto& [bm, row] : rows) {
+    total.forward += row.forward;
+    total.back += row.back;
+    total.total_insts += row.total_insts;
+    total.total_cycles += row.total_cycles;
+    total.total_dflows += row.total_dflows;
+    total.total_merges += row.total_merges;
+    total.total_back_merges += row.total_back_merges;
+    out.push_back(std::move(row));
+  }
+  out.push_back(std::move(total));
+  return out;
+}
+
+DataflowSummaries summarize_dataflow(
+    const std::vector<MethodDataflowRecord>& records) {
+  DataflowSummaries s;
+  std::vector<double> insts, regs, stack, fo_avg, fo_max, arc_avg, arc_max,
+      queue, merges, fj, fj_avg, fj_max, bj, bj_avg, bj_max;
+  for (const MethodDataflowRecord& r : records) {
+    insts.push_back(r.static_insts);
+    regs.push_back(r.max_locals);
+    stack.push_back(r.max_stack);
+    fo_avg.push_back(r.fanout_avg);
+    fo_max.push_back(r.fanout_max);
+    arc_avg.push_back(r.arc_avg);
+    arc_max.push_back(r.arc_max);
+    queue.push_back(r.max_queue_up);
+    merges.push_back(r.merges);
+    fj.push_back(r.forward_jumps);
+    fj_avg.push_back(r.forward_len_avg);
+    fj_max.push_back(r.forward_len_max);
+    bj.push_back(r.back_jumps);
+    bj_avg.push_back(r.back_len_avg);
+    bj_max.push_back(r.back_len_max);
+    s.back_merges_total += r.back_merges;
+  }
+  s.static_insts = summarize(std::move(insts));
+  s.local_regs = summarize(std::move(regs));
+  s.stack = summarize(std::move(stack));
+  s.fanout_avg = summarize(std::move(fo_avg));
+  s.fanout_max = summarize(std::move(fo_max));
+  s.arc_avg = summarize(std::move(arc_avg));
+  s.arc_max = summarize(std::move(arc_max));
+  s.max_queue_up = summarize(std::move(queue));
+  s.merges = summarize(std::move(merges));
+  s.forward_jumps = summarize(std::move(fj));
+  s.forward_len_avg = summarize(std::move(fj_avg));
+  s.forward_len_max = summarize(std::move(fj_max));
+  s.back_jumps = summarize(std::move(bj));
+  s.back_len_avg = summarize(std::move(bj_avg));
+  s.back_len_max = summarize(std::move(bj_max));
+  return s;
+}
+
+}  // namespace javaflow::analysis

@@ -1,0 +1,84 @@
+// DataFlow / ControlFlow structural analysis over a method population
+// (paper §5.4 Table 7 and §7.2 Tables 9-14).
+//
+// Runs the class-loader simulation — greedy load plus the two-pass serial
+// address resolution — for every method and aggregates the structural
+// metrics the paper reports.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "bytecode/method.hpp"
+#include "fabric/resolver.hpp"
+
+namespace javaflow::analysis {
+
+// Per-method record (one row of the data behind Tables 9-14).
+struct MethodDataflowRecord {
+  std::string method;
+  std::string benchmark;
+  std::int32_t static_insts = 0;
+  std::int32_t max_locals = 0;
+  std::int32_t max_stack = 0;
+  std::int32_t forward_jumps = 0;
+  std::int32_t back_jumps = 0;
+  double forward_len_avg = 0.0;
+  std::int32_t forward_len_max = 0;
+  double back_len_avg = 0.0;
+  std::int32_t back_len_max = 0;
+  std::int32_t total_dflows = 0;
+  std::int32_t merges = 0;
+  std::int32_t back_merges = 0;
+  std::int64_t resolution_cycles = 0;
+  std::int32_t max_queue_up = 0;
+  double fanout_avg = 0.0;
+  std::int32_t fanout_max = 0;
+  double arc_avg = 0.0;
+  std::int32_t arc_max = 0;
+};
+
+// Analyze `methods` on a Compact fabric (the paper's loader simulation).
+std::vector<MethodDataflowRecord> analyze_dataflow(
+    const std::vector<const bytecode::Method*>& methods,
+    const bytecode::ConstantPool& pool);
+
+// ---- Table 7: per-benchmark aggregation ----
+struct BenchmarkDataflowRow {
+  std::string benchmark;
+  std::int64_t forward = 0;
+  std::int64_t back = 0;
+  std::int64_t total_insts = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_dflows = 0;
+  std::int64_t total_merges = 0;
+  std::int64_t total_back_merges = 0;  // must be 0 (paper's key result)
+};
+std::vector<BenchmarkDataflowRow> benchmark_dataflow_rows(
+    const std::vector<MethodDataflowRecord>& records);
+
+// ---- Tables 9-14 style summaries over a filtered population ----
+struct DataflowSummaries {
+  Summary static_insts;   // Table 9
+  Summary local_regs;
+  Summary stack;
+  Summary fanout_avg;     // Table 10
+  Summary fanout_max;
+  Summary arc_avg;
+  Summary arc_max;
+  Summary max_queue_up;   // Table 11
+  Summary merges;         // Table 12
+  Summary forward_jumps;  // Table 13
+  Summary forward_len_avg;
+  Summary forward_len_max;
+  Summary back_jumps;     // Table 14
+  Summary back_len_avg;
+  Summary back_len_max;
+  std::int64_t back_merges_total = 0;
+};
+DataflowSummaries summarize_dataflow(
+    const std::vector<MethodDataflowRecord>& records);
+
+}  // namespace javaflow::analysis

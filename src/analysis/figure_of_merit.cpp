@@ -1,0 +1,254 @@
+#include "analysis/figure_of_merit.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/resolver.hpp"
+
+namespace javaflow::analysis {
+
+std::string_view filter_name(Filter f) noexcept {
+  switch (f) {
+    case Filter::All: return "Filter All";
+    case Filter::Filter1: return "Filter 1";
+    case Filter::Filter2: return "Filter 2";
+  }
+  return "?";
+}
+
+bool filter_accepts(Filter f, std::size_t static_insts,
+                    bool is_hot) noexcept {
+  switch (f) {
+    case Filter::All:
+      return true;
+    case Filter::Filter1:
+      return static_insts > 10 && static_insts < 1000;
+    case Filter::Filter2:
+      return is_hot && static_insts > 10 && static_insts < 1000;
+  }
+  return true;
+}
+
+Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
+                const bytecode::ConstantPool& pool,
+                const std::vector<std::string>& hot_methods,
+                const SweepOptions& options) {
+  Sweep sweep;
+  sweep.configs = options.configs.empty() ? sim::table15_configs()
+                                          : options.configs;
+  const std::set<std::string> hot(hot_methods.begin(), hot_methods.end());
+
+  std::vector<sim::Engine> engines;
+  engines.reserve(sweep.configs.size());
+  for (const sim::MachineConfig& cfg : sweep.configs) {
+    engines.emplace_back(cfg, options.engine);
+  }
+
+  const int stride = std::max(options.stride, 1);
+  for (std::size_t mi = 0; mi < methods.size();
+       mi += static_cast<std::size_t>(stride)) {
+    const bytecode::Method& m = *methods[mi];
+    const fabric::DataflowGraph graph =
+        fabric::build_dataflow_graph(m, pool);
+    std::int32_t back_jumps = 0;
+    for (std::size_t i = 0; i < m.code.size(); ++i) {
+      if (m.code[i].is_branch() &&
+          m.code[i].target < static_cast<std::int32_t>(i)) {
+        ++back_jumps;
+      }
+    }
+    for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+      for (const auto scenario : options.scenarios) {
+        sim::BranchPredictor predictor(scenario);
+        SweepSample sample;
+        sample.method = m.name;
+        sample.benchmark = m.benchmark;
+        sample.config_index = ci;
+        sample.scenario = scenario;
+        sample.static_insts = static_cast<std::int32_t>(m.code.size());
+        sample.back_jumps = back_jumps;
+        sample.is_hot = hot.contains(m.name);
+        sample.metrics = engines[ci].run(m, graph, predictor);
+        sweep.samples.push_back(std::move(sample));
+      }
+    }
+  }
+  return sweep;
+}
+
+namespace {
+
+bool usable(const SweepSample& s) {
+  return s.metrics.fits && s.metrics.completed && !s.metrics.timed_out;
+}
+
+// Key identifying a (method, scenario) pair for Baseline normalization.
+using RunKey = std::pair<std::string, int>;
+
+std::map<RunKey, double> baseline_ipc(const Sweep& sweep) {
+  std::map<RunKey, double> base;
+  for (const SweepSample& s : sweep.samples) {
+    if (s.config_index != 0 || !usable(s)) continue;
+    base[{s.method, static_cast<int>(s.scenario)}] = s.metrics.ipc();
+  }
+  return base;
+}
+
+}  // namespace
+
+std::vector<IpcRow> ipc_rows(const Sweep& sweep, Filter filter) {
+  std::vector<std::vector<double>> per_config(sweep.configs.size());
+  for (const SweepSample& s : sweep.samples) {
+    if (!usable(s) ||
+        !filter_accepts(filter, static_cast<std::size_t>(s.static_insts),
+                        s.is_hot)) {
+      continue;
+    }
+    per_config[s.config_index].push_back(s.metrics.ipc());
+  }
+  std::vector<IpcRow> rows;
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows.push_back({sweep.configs[ci].name,
+                    summarize(std::move(per_config[ci]))});
+  }
+  return rows;
+}
+
+std::vector<FomRow> fom_rows(const Sweep& sweep, Filter filter) {
+  const auto base = baseline_ipc(sweep);
+  std::vector<std::vector<double>> fm(sweep.configs.size());
+  std::vector<std::vector<double>> ipc(sweep.configs.size());
+  for (const SweepSample& s : sweep.samples) {
+    if (!usable(s) ||
+        !filter_accepts(filter, static_cast<std::size_t>(s.static_insts),
+                        s.is_hot)) {
+      continue;
+    }
+    ipc[s.config_index].push_back(s.metrics.ipc());
+    const auto it = base.find({s.method, static_cast<int>(s.scenario)});
+    if (it == base.end() || it->second <= 0.0) continue;
+    fm[s.config_index].push_back(s.metrics.ipc() / it->second);
+  }
+  std::vector<FomRow> rows;
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    const Summary si = summarize(ipc[ci]);
+    const Summary sf = summarize(fm[ci]);
+    FomRow row;
+    row.config = sweep.configs[ci].name;
+    row.ipc_mean = si.mean;
+    row.ipc_median = si.median;
+    row.fm_mean = sf.mean;
+    row.fm_std = sf.std_dev;
+    row.samples = sf.n;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<CorrelationRow> hetero_fom_correlations(const Sweep& sweep) {
+  const auto base = baseline_ipc(sweep);
+  // Hetero is the last Table 15 configuration.
+  const std::size_t hetero = sweep.configs.size() - 1;
+  std::vector<double> fm, total_i, executed_i, max_node, back_jumps;
+  for (const SweepSample& s : sweep.samples) {
+    if (s.config_index != hetero || !usable(s)) continue;
+    const auto it = base.find({s.method, static_cast<int>(s.scenario)});
+    if (it == base.end() || it->second <= 0.0) continue;
+    fm.push_back(s.metrics.ipc() / it->second);
+    total_i.push_back(s.static_insts);
+    executed_i.push_back(static_cast<double>(s.metrics.distinct_fired));
+    max_node.push_back(static_cast<double>(s.metrics.max_slot));
+    back_jumps.push_back(s.back_jumps);
+  }
+  return {
+      {"Total I", correlation(fm, total_i)},
+      {"Executed I", correlation(fm, executed_i)},
+      {"Max Node", correlation(fm, max_node)},
+      {"Back Jumps", correlation(fm, back_jumps)},
+  };
+}
+
+std::vector<CoverageRow> coverage_rows(const Sweep& sweep) {
+  std::map<int, std::vector<double>> per_scenario;
+  for (const SweepSample& s : sweep.samples) {
+    if (!usable(s)) continue;
+    per_scenario[static_cast<int>(s.scenario)].push_back(
+        s.metrics.coverage());
+  }
+  std::vector<CoverageRow> rows;
+  for (const auto& [scenario, values] : per_scenario) {
+    CoverageRow row;
+    row.scenario = scenario == 0 ? "BP-1" : (scenario == 1 ? "BP-2" : "Trace");
+    row.mean_coverage = summarize(values).mean;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<NodeRatioRow> node_ratio_rows(const Sweep& sweep,
+                                          Filter filter) {
+  std::vector<std::vector<double>> per_config(sweep.configs.size());
+  for (const SweepSample& s : sweep.samples) {
+    if (!s.metrics.fits ||
+        !filter_accepts(filter, static_cast<std::size_t>(s.static_insts),
+                        s.is_hot)) {
+      continue;
+    }
+    if (s.scenario != sim::BranchPredictor::Scenario::BP1) continue;
+    per_config[s.config_index].push_back(
+        s.metrics.nodes_per_instruction());
+  }
+  std::vector<NodeRatioRow> rows;
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows.push_back({sweep.configs[ci].name,
+                    summarize(std::move(per_config[ci]))});
+  }
+  return rows;
+}
+
+std::vector<ParallelismRow> parallelism_rows(const Sweep& sweep) {
+  std::vector<std::vector<double>> per_config(sweep.configs.size());
+  for (const SweepSample& s : sweep.samples) {
+    if (!usable(s)) continue;
+    per_config[s.config_index].push_back(s.metrics.parallel_2plus());
+  }
+  std::vector<ParallelismRow> rows;
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows.push_back({sweep.configs[ci].name,
+                    summarize(std::move(per_config[ci])).mean});
+  }
+  return rows;
+}
+
+std::vector<MethodFomRow> per_method_fom(
+    const Sweep& sweep, const std::vector<std::string>& methods) {
+  const auto base = baseline_ipc(sweep);
+  std::vector<MethodFomRow> rows;
+  for (const std::string& name : methods) {
+    MethodFomRow row;
+    row.method = name;
+    row.fm.assign(sweep.configs.size(), 0.0);
+    std::vector<int> counts(sweep.configs.size(), 0);
+    for (const SweepSample& s : sweep.samples) {
+      if (s.method != name || !usable(s)) continue;
+      row.benchmark = s.benchmark;
+      row.total_insts = s.static_insts;
+      if (sweep.configs[s.config_index].layout ==
+          fabric::LayoutKind::Heterogeneous) {
+        row.hetero_nodes = s.metrics.max_slot + 1;
+      }
+      const auto it = base.find({s.method, static_cast<int>(s.scenario)});
+      if (it == base.end() || it->second <= 0.0) continue;
+      row.fm[s.config_index] += s.metrics.ipc() / it->second;
+      ++counts[s.config_index];
+    }
+    for (std::size_t ci = 0; ci < row.fm.size(); ++ci) {
+      if (counts[ci] > 0) row.fm[ci] /= counts[ci];
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace javaflow::analysis

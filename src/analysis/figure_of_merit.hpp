@@ -1,0 +1,124 @@
+// The Chapter 7 performance sweep: every method × every configuration ×
+// both branch scenarios, normalized to the Baseline Figure of Merit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "bytecode/method.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow::analysis {
+
+// Method population filters (paper Table 16).
+enum class Filter : std::uint8_t {
+  All,      // every method
+  Filter1,  // 10 < static instructions < 1000
+  Filter2,  // the hottest (dynamically weighted) methods within Filter1
+};
+std::string_view filter_name(Filter f) noexcept;
+bool filter_accepts(Filter f, std::size_t static_insts, bool is_hot) noexcept;
+
+// One execution sample: a (method, config, scenario) cell of the sweep.
+struct SweepSample {
+  std::string method;
+  std::string benchmark;
+  std::size_t config_index = 0;    // into the sweep's config list
+  sim::BranchPredictor::Scenario scenario =
+      sim::BranchPredictor::Scenario::BP1;
+  std::int32_t static_insts = 0;
+  std::int32_t back_jumps = 0;
+  bool is_hot = false;             // in the dynamic top-90 % set
+  sim::RunMetrics metrics;
+};
+
+struct SweepOptions {
+  std::vector<sim::MachineConfig> configs;  // default: table15_configs()
+  std::vector<sim::BranchPredictor::Scenario> scenarios = {
+      sim::BranchPredictor::Scenario::BP1,
+      sim::BranchPredictor::Scenario::BP2};
+  sim::EngineOptions engine;
+  // Optional subsampling for quick runs: keep every k-th method (1 = all).
+  int stride = 1;
+};
+
+struct Sweep {
+  std::vector<sim::MachineConfig> configs;
+  std::vector<SweepSample> samples;
+};
+
+// Runs the full sweep. `hot_methods` marks Filter 2 membership (by
+// qualified name). Methods that do not fit or time out are recorded with
+// their flags so tables can report exclusions.
+Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
+                const bytecode::ConstantPool& pool,
+                const std::vector<std::string>& hot_methods,
+                const SweepOptions& options);
+
+// ---- aggregations ----
+
+// Raw IPC rows (Tables 21 / 24 / 25, left half).
+struct IpcRow {
+  std::string config;
+  Summary ipc;
+};
+std::vector<IpcRow> ipc_rows(const Sweep& sweep, Filter filter);
+
+// Figure-of-Merit rows (Tables 22 / 24 / 25): per-method IPC normalized
+// to that method's Baseline IPC under the same scenario, then averaged.
+struct FomRow {
+  std::string config;
+  double ipc_mean = 0.0;
+  double ipc_median = 0.0;
+  double fm_mean = 0.0;
+  double fm_std = 0.0;
+  std::size_t samples = 0;
+};
+std::vector<FomRow> fom_rows(const Sweep& sweep, Filter filter);
+
+// Table 23: correlation of the Heterogeneous FoM with method factors.
+struct CorrelationRow {
+  std::string factor;
+  double correlation = 0.0;
+};
+std::vector<CorrelationRow> hetero_fom_correlations(const Sweep& sweep);
+
+// Table 18: execution coverage per scenario.
+struct CoverageRow {
+  std::string scenario;
+  double mean_coverage = 0.0;
+};
+std::vector<CoverageRow> coverage_rows(const Sweep& sweep);
+
+// Table 19/20: instructions-to-max-node ratios per configuration.
+struct NodeRatioRow {
+  std::string config;
+  Summary ratio;
+};
+std::vector<NodeRatioRow> node_ratio_rows(const Sweep& sweep, Filter filter);
+
+// Table 26: parallelism per configuration.
+struct ParallelismRow {
+  std::string config;
+  double mean_fraction_2plus = 0.0;
+};
+std::vector<ParallelismRow> parallelism_rows(const Sweep& sweep);
+
+// Tables 27/28: per-method Figure of Merit across configurations for a
+// named method list (the top-4 SPEC methods).
+struct MethodFomRow {
+  std::string method;
+  std::string benchmark;
+  std::int32_t total_insts = 0;
+  std::int32_t hetero_nodes = 0;  // "Sparser N": max node in Hetero2
+  std::vector<double> fm;         // one per config, Baseline first
+};
+std::vector<MethodFomRow> per_method_fom(
+    const Sweep& sweep, const std::vector<std::string>& methods);
+
+}  // namespace javaflow::analysis

@@ -1,0 +1,166 @@
+#include "analysis/mix.hpp"
+
+#include <algorithm>
+
+namespace javaflow::analysis {
+namespace {
+
+using jvm::Profiler;
+
+// Benchmark -> (method, stats) in descending hotness.
+std::map<std::string,
+         std::vector<std::pair<std::string, const Profiler::MethodStats*>>>
+group_by_benchmark(const Profiler& profiler) {
+  std::map<std::string,
+           std::vector<std::pair<std::string, const Profiler::MethodStats*>>>
+      grouped;
+  for (const auto& [name, stats] : profiler.methods()) {
+    grouped[stats.benchmark].emplace_back(name, &stats);
+  }
+  for (auto& [bm, methods] : grouped) {
+    std::sort(methods.begin(), methods.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second->total_ops != b.second->total_ops) {
+                  return a.second->total_ops > b.second->total_ops;
+                }
+                return a.first < b.first;
+              });
+  }
+  return grouped;
+}
+
+}  // namespace
+
+std::vector<MethodUtilizationRow> method_utilization(
+    const Profiler& profiler) {
+  std::vector<MethodUtilizationRow> rows;
+  for (const auto& [bm, methods] : group_by_benchmark(profiler)) {
+    MethodUtilizationRow row;
+    row.benchmark = bm;
+    row.methods_used = methods.size();
+    for (const auto& [name, stats] : methods) {
+      row.total_ops += stats->total_ops;
+    }
+    const auto want =
+        static_cast<std::uint64_t>(0.9 * static_cast<double>(row.total_ops));
+    std::uint64_t seen = 0;
+    for (const auto& [name, stats] : methods) {
+      if (seen >= want) break;
+      ++row.methods_for_90pct;
+      seen += stats->total_ops;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<DynamicMixRow> dynamic_mix_of_hot_methods(
+    const Profiler& profiler, double coverage_fraction) {
+  std::vector<DynamicMixRow> rows;
+  for (const auto& [bm, methods] : group_by_benchmark(profiler)) {
+    std::uint64_t bm_total = 0;
+    for (const auto& [name, stats] : methods) bm_total += stats->total_ops;
+    const auto want = static_cast<std::uint64_t>(
+        coverage_fraction * static_cast<double>(bm_total));
+
+    DynamicMixRow row;
+    row.benchmark = bm;
+    std::array<std::uint64_t, 8> counts{};
+    std::uint64_t seen = 0;
+    for (const auto& [name, stats] : methods) {
+      if (seen >= want) break;
+      seen += stats->total_ops;
+      for (int b = 0; b < 256; ++b) {
+        const std::uint64_t c =
+            stats->op_counts[static_cast<std::size_t>(b)];
+        if (c == 0 || !bytecode::is_valid_opcode(static_cast<std::uint8_t>(b))) {
+          continue;
+        }
+        const auto cat = bytecode::dynamic_mix_category(
+            bytecode::op_info(static_cast<bytecode::Op>(b)).group);
+        counts[static_cast<std::size_t>(cat)] += c;
+        row.total_ops += c;
+      }
+    }
+    if (row.total_ops > 0) {
+      for (std::size_t k = 0; k < counts.size(); ++k) {
+        row.fractions[k] = static_cast<double>(counts[k]) /
+                           static_cast<double>(row.total_ops);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<TopMethodsRow> top_methods(const Profiler& profiler,
+                                       std::size_t n) {
+  std::vector<TopMethodsRow> rows;
+  for (const auto& [bm, methods] : group_by_benchmark(profiler)) {
+    TopMethodsRow row;
+    row.benchmark = bm;
+    for (const auto& [name, stats] : methods) {
+      row.total_ops += stats->total_ops;
+    }
+    for (std::size_t k = 0; k < methods.size() && k < n; ++k) {
+      TopMethod t;
+      t.method = methods[k].first;
+      t.ops = methods[k].second->total_ops;
+      t.share = row.total_ops > 0 ? static_cast<double>(t.ops) /
+                                        static_cast<double>(row.total_ops)
+                                  : 0.0;
+      row.top_share += t.share;
+      row.top.push_back(std::move(t));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+QuickImpact quick_impact(const Profiler& profiler) {
+  QuickImpact q;
+  q.total_ops = profiler.total_ops();
+  q.storage_base = profiler.storage_base_ops();
+  q.storage_quick = profiler.storage_quick_ops();
+  const std::uint64_t total_storage = q.storage_base + q.storage_quick;
+  if (total_storage > 0) {
+    q.quick_percentage = static_cast<double>(q.storage_quick) /
+                         static_cast<double>(total_storage);
+  }
+  return q;
+}
+
+std::vector<StaticMixRow> static_mix(
+    const std::vector<const bytecode::Method*>& methods) {
+  std::map<std::string, std::array<std::uint64_t, 4>> counts;
+  std::array<std::uint64_t, 4> totals{};
+  for (const bytecode::Method* m : methods) {
+    auto& row = counts[m->benchmark];
+    for (const bytecode::Instruction& inst : m->code) {
+      const auto cat = static_cast<std::size_t>(
+          bytecode::static_mix_category(inst.group()));
+      ++row[cat];
+      ++totals[cat];
+    }
+  }
+  std::vector<StaticMixRow> rows;
+  auto to_row = [](const std::string& bm,
+                   const std::array<std::uint64_t, 4>& c) {
+    StaticMixRow r;
+    r.benchmark = bm;
+    r.total_insts = c[0] + c[1] + c[2] + c[3];
+    if (r.total_insts > 0) {
+      const auto total = static_cast<double>(r.total_insts);
+      r.arith = static_cast<double>(c[0]) / total;
+      r.fp = static_cast<double>(c[1]) / total;
+      r.control = static_cast<double>(c[2]) / total;
+      r.storage = static_cast<double>(c[3]) / total;
+    }
+    return r;
+  };
+  for (const auto& [bm, c] : counts) rows.push_back(to_row(bm, c));
+  rows.push_back(to_row("Total", totals));
+  return rows;
+}
+
+}  // namespace javaflow::analysis

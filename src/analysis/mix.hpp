@@ -1,0 +1,79 @@
+// Benchmark mix analyses (paper Chapter 5).
+//
+// Dynamic analyses consume a Profiler filled by running the workload
+// suite under the reference interpreter (the paper's instrumented-JAMVM
+// methodology, §5.2); static analyses consume the Program image itself
+// (the paper's BCEL/ASM/JAVAP pipeline, §5.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+#include "jvm/profiler.hpp"
+
+namespace javaflow::analysis {
+
+// ---- Table 1: method utilization ----
+struct MethodUtilizationRow {
+  std::string benchmark;
+  std::uint64_t total_ops = 0;
+  std::size_t methods_used = 0;
+  std::size_t methods_for_90pct = 0;
+};
+std::vector<MethodUtilizationRow> method_utilization(
+    const jvm::Profiler& profiler);
+
+// ---- Table 2: dynamic instruction mix of the 90 % methods ----
+struct DynamicMixRow {
+  std::string benchmark;
+  // Fractions by DynamicMixCategory, summing to 1 over executed ops.
+  std::array<double, 8> fractions{};
+  std::uint64_t total_ops = 0;
+};
+std::vector<DynamicMixRow> dynamic_mix_of_hot_methods(
+    const jvm::Profiler& profiler, double coverage_fraction = 0.9);
+
+// ---- Tables 3-4: top-N methods per benchmark ----
+struct TopMethod {
+  std::string method;
+  std::uint64_t ops = 0;
+  double share = 0.0;  // of the benchmark's total ops
+};
+struct TopMethodsRow {
+  std::string benchmark;
+  std::uint64_t total_ops = 0;
+  std::vector<TopMethod> top;  // descending
+  double top_share = 0.0;      // sum of shares of the listed methods
+};
+std::vector<TopMethodsRow> top_methods(const jvm::Profiler& profiler,
+                                       std::size_t n = 4);
+
+// ---- Table 5: impact of _Quick instructions ----
+struct QuickImpact {
+  std::uint64_t total_ops = 0;
+  std::uint64_t storage_base = 0;
+  std::uint64_t storage_quick = 0;
+  double quick_percentage = 0.0;
+};
+QuickImpact quick_impact(const jvm::Profiler& profiler);
+
+// ---- Table 6: static mix analysis ----
+struct StaticMixRow {
+  std::string benchmark;
+  double arith = 0.0;
+  double fp = 0.0;
+  double control = 0.0;
+  double storage = 0.0;
+  std::uint64_t total_insts = 0;
+};
+// Per-benchmark rows over the given methods (typically a corpus filtered
+// to kernels, matching the paper's "90 % methods" scope), plus a "Total"
+// row appended last.
+std::vector<StaticMixRow> static_mix(
+    const std::vector<const bytecode::Method*>& methods);
+
+}  // namespace javaflow::analysis

@@ -1,0 +1,104 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace javaflow::analysis {
+
+Table& Table::columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0
+     << "%";
+  return os.str();
+}
+
+std::string Table::big(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (const std::size_t w : widths) rule += "  " + std::string(w, '-');
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto line = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << csv_escape(cells[c]);
+    }
+    os << "\n";
+  };
+  line(columns_);
+  for (const auto& row : rows_) line(row);
+}
+
+void print_header(const std::string& text, std::ostream& os) {
+  os << "\n" << std::string(72, '=') << "\n" << text << "\n"
+     << std::string(72, '=') << "\n";
+}
+
+}  // namespace javaflow::analysis

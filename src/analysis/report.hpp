@@ -1,0 +1,38 @@
+// Plain-text table rendering for the bench harnesses: each bench prints
+// the paper's rows next to the reproduction's measurements.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace javaflow::analysis {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string num(double v, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 0);  // 0.47 -> 47%
+  static std::string big(std::uint64_t v);  // thousands separators
+
+  void print(std::ostream& os = std::cout) const;
+
+  // Machine-readable export of the same rows (RFC-4180-style quoting),
+  // so downstream plotting does not have to scrape the aligned text.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section header used between tables in a bench binary's output.
+void print_header(const std::string& text, std::ostream& os = std::cout);
+
+}  // namespace javaflow::analysis

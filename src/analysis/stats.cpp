@@ -1,0 +1,48 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace javaflow::analysis {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values[values.size() / 2];
+  double total = 0.0;
+  for (const double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - s.mean) * (v - s.mean);
+  s.std_dev = values.size() > 1
+                  ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                  : 0.0;
+  return s;
+}
+
+double correlation(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace javaflow::analysis

@@ -1,0 +1,24 @@
+// Descriptive statistics used by every results table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace javaflow::analysis {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+};
+
+Summary summarize(std::vector<double> values);
+
+// Pearson correlation coefficient; 0 when either series is constant.
+double correlation(const std::vector<double>& x,
+                   const std::vector<double>& y);
+
+}  // namespace javaflow::analysis

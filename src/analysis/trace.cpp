@@ -1,0 +1,56 @@
+#include "analysis/trace.hpp"
+
+namespace javaflow::analysis {
+
+TraceCollector::TraceCollector(jvm::Interpreter& vm) : vm_(&vm) {
+  vm.set_branch_hook([this](const bytecode::Method& m, std::int32_t pc,
+                            std::int32_t next) {
+    events_[m.name].push_back(Event{pc, next});
+  });
+}
+
+TraceCollector::~TraceCollector() { detach(); }
+
+void TraceCollector::detach() {
+  if (vm_ != nullptr) {
+    vm_->set_branch_hook(nullptr);
+    vm_ = nullptr;
+  }
+}
+
+std::size_t TraceCollector::events_for(const std::string& method) const {
+  auto it = events_.find(method);
+  return it == events_.end() ? 0 : it->second.size();
+}
+
+sim::BranchPredictor TraceCollector::predictor_for(
+    const bytecode::Method& m) const {
+  sim::BranchPredictor predictor(sim::BranchPredictor::Scenario::Trace);
+  auto it = events_.find(m.name);
+  if (it == events_.end()) return predictor;
+  for (const Event& e : it->second) {
+    const bytecode::Instruction& inst =
+        m.code[static_cast<std::size_t>(e.pc)];
+    if (inst.op == bytecode::Op::tableswitch ||
+        inst.op == bytecode::Op::lookupswitch) {
+      const bytecode::SwitchTable& t =
+          m.switches[static_cast<std::size_t>(inst.operand)];
+      std::int32_t arm = static_cast<std::int32_t>(t.targets.size());
+      for (std::size_t k = 0; k < t.targets.size(); ++k) {
+        if (t.targets[k] == e.next) {
+          arm = static_cast<std::int32_t>(k);
+          break;
+        }
+      }
+      predictor.feed_switch_trace(e.pc, arm);
+      continue;
+    }
+    if (inst.op == bytecode::Op::goto_ || inst.op == bytecode::Op::goto_w) {
+      continue;  // unconditional: nothing to predict
+    }
+    predictor.feed_trace(e.pc, e.next == inst.target);
+  }
+  return predictor;
+}
+
+}  // namespace javaflow::analysis

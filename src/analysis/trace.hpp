@@ -1,0 +1,50 @@
+// Trace-driven execution (extension beyond the paper).
+//
+// The dissertation ran every method under the synthetic BP-1/BP-2 branch
+// scenarios because "trace data was not gathered" (§5.2). Since this
+// reproduction owns the reference interpreter, it can gather real
+// outcomes: a TraceCollector hooks the interpreter's control-flow events
+// and replays them through a Trace-mode BranchPredictor, letting the
+// machine execute the *actual* paths of a workload. The
+// bench/ablation_trace harness quantifies how much the synthetic
+// scenarios distort the Chapter 7 picture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jvm/interpreter.hpp"
+#include "sim/branch_predictor.hpp"
+
+namespace javaflow::analysis {
+
+class TraceCollector {
+ public:
+  // Installs the hook; outcomes accumulate until the collector is
+  // destroyed or detach() is called.
+  explicit TraceCollector(jvm::Interpreter& vm);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void detach();
+
+  // Number of recorded control-flow events for a method.
+  std::size_t events_for(const std::string& method) const;
+
+  // Builds a Trace-mode predictor that replays the recorded outcomes of
+  // `m` (branch taken/not-taken and switch arm choices, in order).
+  sim::BranchPredictor predictor_for(const bytecode::Method& m) const;
+
+ private:
+  struct Event {
+    std::int32_t pc = 0;
+    std::int32_t next = 0;
+  };
+  jvm::Interpreter* vm_;
+  std::map<std::string, std::vector<Event>> events_;
+};
+
+}  // namespace javaflow::analysis

@@ -1,0 +1,351 @@
+#include "bytecode/assembler.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "bytecode/verifier.hpp"
+
+namespace javaflow::bytecode {
+
+namespace {
+
+Op local_short_form(Op base, int n) {
+  // The _0.._3 short forms are contiguous with a fixed layout per base op.
+  auto idx = [&](Op zero) {
+    return static_cast<Op>(static_cast<int>(zero) + n);
+  };
+  switch (base) {
+    case Op::iload: return idx(Op::iload_0);
+    case Op::lload: return idx(Op::lload_0);
+    case Op::fload: return idx(Op::fload_0);
+    case Op::dload: return idx(Op::dload_0);
+    case Op::aload: return idx(Op::aload_0);
+    case Op::istore: return idx(Op::istore_0);
+    case Op::lstore: return idx(Op::lstore_0);
+    case Op::fstore: return idx(Op::fstore_0);
+    case Op::dstore: return idx(Op::dstore_0);
+    case Op::astore: return idx(Op::astore_0);
+    default: return base;
+  }
+}
+
+}  // namespace
+
+Assembler::Assembler(Program& program, std::string qualified_name,
+                     std::string benchmark)
+    : program_(program) {
+  method_.name = std::move(qualified_name);
+  method_.benchmark = std::move(benchmark);
+}
+
+Assembler& Assembler::args(std::vector<ValueType> types) {
+  method_.arg_types = std::move(types);
+  method_.num_args = static_cast<std::uint8_t>(method_.arg_types.size());
+  return *this;
+}
+
+Assembler& Assembler::returns(ValueType t) {
+  method_.return_type = t;
+  return *this;
+}
+
+Assembler& Assembler::instance() {
+  method_.is_static = false;
+  return *this;
+}
+
+Assembler& Assembler::locals(std::uint16_t max) {
+  if (max > method_.max_locals) method_.max_locals = max;
+  return *this;
+}
+
+Assembler::Label Assembler::new_label() {
+  label_pos_.push_back(-1);
+  return Label{static_cast<std::int32_t>(label_pos_.size() - 1)};
+}
+
+Assembler& Assembler::bind(Label l) {
+  if (l.id < 0 || static_cast<std::size_t>(l.id) >= label_pos_.size()) {
+    throw std::runtime_error("bind: unknown label");
+  }
+  if (label_pos_[static_cast<std::size_t>(l.id)] != -1) {
+    throw std::runtime_error("bind: label bound twice");
+  }
+  label_pos_[static_cast<std::size_t>(l.id)] = position();
+  return *this;
+}
+
+Assembler& Assembler::push_inst(Instruction inst) {
+  const OpInfo& info = op_info(inst.op);
+  if (info.pop != kVarCount) inst.pop = info.pop;
+  if (info.push != kVarCount) inst.push = info.push;
+  method_.code.push_back(inst);
+  return *this;
+}
+
+Assembler& Assembler::emit(Op op) { return push_inst(Instruction{.op = op}); }
+
+Assembler& Assembler::emit_imm(Op op, std::int32_t imm) {
+  return push_inst(Instruction{.op = op, .operand = imm});
+}
+
+Assembler& Assembler::emit_local(Op op, std::int32_t local) {
+  locals(static_cast<std::uint16_t>(local + 1));
+  return push_inst(Instruction{.op = op, .operand = local});
+}
+
+Assembler& Assembler::emit_cp(Op op, std::int32_t cp_index) {
+  return push_inst(Instruction{.op = op, .operand = cp_index});
+}
+
+Assembler& Assembler::emit_branch(Op op, Label target) {
+  fixups_.emplace_back(position(), target.id);
+  return push_inst(Instruction{.op = op, .target = -1});
+}
+
+Assembler& Assembler::iconst(std::int32_t v) {
+  if (v >= -1 && v <= 5) {
+    return emit(static_cast<Op>(static_cast<int>(Op::iconst_0) + v));
+  }
+  if (v >= std::numeric_limits<std::int8_t>::min() &&
+      v <= std::numeric_limits<std::int8_t>::max()) {
+    return emit_imm(Op::bipush, v);
+  }
+  if (v >= std::numeric_limits<std::int16_t>::min() &&
+      v <= std::numeric_limits<std::int16_t>::max()) {
+    return emit_imm(Op::sipush, v);
+  }
+  return emit_cp(Op::ldc, program_.pool.add_int(v));
+}
+
+Assembler& Assembler::lconst(std::int64_t v) {
+  if (v == 0) return emit(Op::lconst_0);
+  if (v == 1) return emit(Op::lconst_1);
+  return emit_cp(Op::ldc2_w, program_.pool.add_long(v));
+}
+
+Assembler& Assembler::fconst(double v) {
+  if (v == 0.0) return emit(Op::fconst_0);
+  if (v == 1.0) return emit(Op::fconst_1);
+  if (v == 2.0) return emit(Op::fconst_2);
+  return emit_cp(Op::ldc, program_.pool.add_float(v));
+}
+
+Assembler& Assembler::dconst(double v) {
+  if (v == 0.0) return emit(Op::dconst_0);
+  if (v == 1.0) return emit(Op::dconst_1);
+  return emit_cp(Op::ldc2_w, program_.pool.add_double(v));
+}
+
+Assembler& Assembler::sconst(const std::string& v) {
+  return emit_cp(Op::ldc, program_.pool.add_string(v));
+}
+
+Assembler& Assembler::iload(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::iload, n));
+  return emit_local(Op::iload, n);
+}
+Assembler& Assembler::lload(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::lload, n));
+  return emit_local(Op::lload, n);
+}
+Assembler& Assembler::fload(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::fload, n));
+  return emit_local(Op::fload, n);
+}
+Assembler& Assembler::dload(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::dload, n));
+  return emit_local(Op::dload, n);
+}
+Assembler& Assembler::aload(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::aload, n));
+  return emit_local(Op::aload, n);
+}
+Assembler& Assembler::istore(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::istore, n));
+  return emit_local(Op::istore, n);
+}
+Assembler& Assembler::lstore(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::lstore, n));
+  return emit_local(Op::lstore, n);
+}
+Assembler& Assembler::fstore(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::fstore, n));
+  return emit_local(Op::fstore, n);
+}
+Assembler& Assembler::dstore(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::dstore, n));
+  return emit_local(Op::dstore, n);
+}
+Assembler& Assembler::astore(int n) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  if (n <= 3) return emit(local_short_form(Op::astore, n));
+  return emit_local(Op::astore, n);
+}
+
+Assembler& Assembler::iinc(int n, std::int32_t delta) {
+  locals(static_cast<std::uint16_t>(n + 1));
+  return push_inst(Instruction{.op = Op::iinc, .operand = n,
+                               .operand2 = delta});
+}
+
+Assembler& Assembler::getfield(const std::string& cls,
+                               const std::string& field, ValueType type) {
+  return emit_cp(Op::getfield, program_.pool.add_field(FieldRef{
+                                   cls, field, type, /*is_static=*/false}));
+}
+Assembler& Assembler::putfield(const std::string& cls,
+                               const std::string& field, ValueType type) {
+  return emit_cp(Op::putfield, program_.pool.add_field(FieldRef{
+                                   cls, field, type, /*is_static=*/false}));
+}
+Assembler& Assembler::getstatic(const std::string& cls,
+                                const std::string& field, ValueType type) {
+  return emit_cp(Op::getstatic, program_.pool.add_field(FieldRef{
+                                    cls, field, type, /*is_static=*/true}));
+}
+Assembler& Assembler::putstatic(const std::string& cls,
+                                const std::string& field, ValueType type) {
+  return emit_cp(Op::putstatic, program_.pool.add_field(FieldRef{
+                                    cls, field, type, /*is_static=*/true}));
+}
+
+std::int32_t Assembler::method_cp(const std::string& qualified, int argc,
+                                  ValueType ret) {
+  return program_.pool.add_method(
+      MethodRef{qualified, static_cast<std::uint8_t>(argc), ret});
+}
+
+Assembler& Assembler::invokestatic(const std::string& q, int argc,
+                                   ValueType ret) {
+  Instruction i{.op = Op::invokestatic, .operand = method_cp(q, argc, ret)};
+  i.pop = static_cast<std::uint8_t>(argc);
+  i.push = ret == ValueType::Void ? 0 : 1;
+  return push_inst(i);
+}
+Assembler& Assembler::invokevirtual(const std::string& q, int argc,
+                                    ValueType ret) {
+  Instruction i{.op = Op::invokevirtual, .operand = method_cp(q, argc, ret)};
+  i.pop = static_cast<std::uint8_t>(argc);
+  i.push = ret == ValueType::Void ? 0 : 1;
+  return push_inst(i);
+}
+Assembler& Assembler::invokespecial(const std::string& q, int argc,
+                                    ValueType ret) {
+  Instruction i{.op = Op::invokespecial, .operand = method_cp(q, argc, ret)};
+  i.pop = static_cast<std::uint8_t>(argc);
+  i.push = ret == ValueType::Void ? 0 : 1;
+  return push_inst(i);
+}
+Assembler& Assembler::invokeinterface(const std::string& q, int argc,
+                                      ValueType ret) {
+  Instruction i{.op = Op::invokeinterface, .operand = method_cp(q, argc, ret),
+                .operand2 = argc};
+  i.pop = static_cast<std::uint8_t>(argc);
+  i.push = ret == ValueType::Void ? 0 : 1;
+  return push_inst(i);
+}
+
+Assembler& Assembler::new_object(const std::string& cls) {
+  return emit_cp(Op::new_, program_.pool.add_class(ClassRef{cls, 1}));
+}
+
+Assembler& Assembler::newarray(ValueType element) {
+  return emit_imm(Op::newarray, static_cast<std::int32_t>(element));
+}
+
+Assembler& Assembler::anewarray(const std::string& cls) {
+  return emit_cp(Op::anewarray, program_.pool.add_class(ClassRef{cls, 1}));
+}
+
+Assembler& Assembler::multianewarray(const std::string& cls, int dims) {
+  Instruction i{.op = Op::multianewarray,
+                .operand = program_.pool.add_class(ClassRef{cls, dims}),
+                .operand2 = dims};
+  i.pop = static_cast<std::uint8_t>(dims);
+  i.push = 1;
+  return push_inst(i);
+}
+
+Assembler& Assembler::tableswitch(std::int32_t low,
+                                  const std::vector<Label>& targets,
+                                  Label default_target) {
+  SwitchTable table;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    table.keys.push_back(low + static_cast<std::int32_t>(k));
+    table.targets.push_back(-1);
+    switch_fixups_.emplace_back(
+        static_cast<std::int32_t>(method_.switches.size()),
+        static_cast<std::int32_t>(k), targets[k].id);
+  }
+  switch_fixups_.emplace_back(
+      static_cast<std::int32_t>(method_.switches.size()), -1,
+      default_target.id);
+  method_.switches.push_back(std::move(table));
+  return emit_imm(Op::tableswitch,
+                  static_cast<std::int32_t>(method_.switches.size() - 1));
+}
+
+Assembler& Assembler::lookupswitch(
+    const std::vector<std::pair<std::int32_t, Label>>& cases,
+    Label default_target) {
+  SwitchTable table;
+  for (std::size_t k = 0; k < cases.size(); ++k) {
+    table.keys.push_back(cases[k].first);
+    table.targets.push_back(-1);
+    switch_fixups_.emplace_back(
+        static_cast<std::int32_t>(method_.switches.size()),
+        static_cast<std::int32_t>(k), cases[k].second.id);
+  }
+  switch_fixups_.emplace_back(
+      static_cast<std::int32_t>(method_.switches.size()), -1,
+      default_target.id);
+  method_.switches.push_back(std::move(table));
+  return emit_imm(Op::lookupswitch,
+                  static_cast<std::int32_t>(method_.switches.size() - 1));
+}
+
+Method Assembler::build() {
+  // Arguments occupy locals [0, num_args); `this` for instance methods is
+  // counted in arg_types by the kernels that need it.
+  if (method_.max_locals < method_.num_args) {
+    method_.max_locals = method_.num_args;
+  }
+  for (const auto& [pos, label] : fixups_) {
+    const std::int32_t at = label_pos_[static_cast<std::size_t>(label)];
+    if (at < 0) {
+      throw std::runtime_error(method_.name + ": unbound label in branch");
+    }
+    method_.code[static_cast<std::size_t>(pos)].target = at;
+  }
+  for (const auto& [tbl, case_idx, label] : switch_fixups_) {
+    const std::int32_t at = label_pos_[static_cast<std::size_t>(label)];
+    if (at < 0) {
+      throw std::runtime_error(method_.name + ": unbound label in switch");
+    }
+    SwitchTable& table = method_.switches[static_cast<std::size_t>(tbl)];
+    if (case_idx < 0) {
+      table.default_target = at;
+    } else {
+      table.targets[static_cast<std::size_t>(case_idx)] = at;
+    }
+  }
+  VerifyResult vr = verify(method_, program_.pool);
+  if (!vr.ok) {
+    throw std::runtime_error(method_.name + ": verification failed: " +
+                             vr.error);
+  }
+  method_.max_stack = vr.max_stack;
+  return std::move(method_);
+}
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,149 @@
+// Label-based ByteCode assembler.
+//
+// Plays the role JAVAP/Jasmine played for the paper's analysis pipeline:
+// it is how the workload kernels and the random method generator produce
+// methods in linear-address form. `build()` runs the verifier (computing
+// max_stack and enforcing the JVM merge-shape restriction of Figure 9) and
+// resolves call-site pop/push counts from the constant pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::bytecode {
+
+class Assembler {
+ public:
+  // `program` receives constant-pool entries as they are interned; the
+  // finished Method is returned by build() (and may be appended to the
+  // program by the caller).
+  Assembler(Program& program, std::string qualified_name,
+            std::string benchmark);
+
+  // ---- signature ----
+  Assembler& args(std::vector<ValueType> types);
+  Assembler& returns(ValueType t);
+  Assembler& instance();  // non-static: local 0 = this (paper §3.6)
+  Assembler& locals(std::uint16_t max);  // optional; grown automatically
+
+  // ---- labels ----
+  struct Label {
+    std::int32_t id = -1;
+  };
+  Label new_label();
+  Assembler& bind(Label l);
+
+  // ---- generic emitters ----
+  Assembler& emit(Op op);
+  Assembler& emit_imm(Op op, std::int32_t imm);
+  Assembler& emit_local(Op op, std::int32_t local);
+  Assembler& emit_cp(Op op, std::int32_t cp_index);
+  Assembler& emit_branch(Op op, Label target);
+
+  // ---- constants (auto-selects iconst_N / bipush / sipush / ldc) ----
+  Assembler& iconst(std::int32_t v);
+  Assembler& lconst(std::int64_t v);
+  Assembler& fconst(double v);
+  Assembler& dconst(double v);
+  Assembler& sconst(const std::string& v);  // ldc of a string constant
+
+  // ---- locals (auto-selects the _N short forms) ----
+  Assembler& iload(int n);
+  Assembler& lload(int n);
+  Assembler& fload(int n);
+  Assembler& dload(int n);
+  Assembler& aload(int n);
+  Assembler& istore(int n);
+  Assembler& lstore(int n);
+  Assembler& fstore(int n);
+  Assembler& dstore(int n);
+  Assembler& astore(int n);
+  Assembler& iinc(int n, std::int32_t delta);
+
+  // ---- arithmetic / stack (no-operand ops, named for call-site clarity)
+  Assembler& op(Op o) { return emit(o); }
+
+  // ---- fields ----
+  // Interns the FieldRef; `type` is the field's value type.
+  Assembler& getfield(const std::string& cls, const std::string& field,
+                      ValueType type);
+  Assembler& putfield(const std::string& cls, const std::string& field,
+                      ValueType type);
+  Assembler& getstatic(const std::string& cls, const std::string& field,
+                       ValueType type);
+  Assembler& putstatic(const std::string& cls, const std::string& field,
+                       ValueType type);
+
+  // ---- calls ----
+  // `arg_values` counts values popped including the receiver for instance
+  // calls; matches the paper's per-site pop resolution (§6.2 "Loading").
+  Assembler& invokestatic(const std::string& qualified, int arg_values,
+                          ValueType ret);
+  Assembler& invokevirtual(const std::string& qualified, int arg_values,
+                           ValueType ret);
+  Assembler& invokespecial(const std::string& qualified, int arg_values,
+                           ValueType ret);
+  Assembler& invokeinterface(const std::string& qualified, int arg_values,
+                             ValueType ret);
+
+  // ---- objects / arrays ----
+  Assembler& new_object(const std::string& cls);
+  Assembler& newarray(ValueType element);  // primitive arrays
+  Assembler& anewarray(const std::string& cls);
+  Assembler& multianewarray(const std::string& cls, int dims);
+
+  // ---- branches ----
+  Assembler& goto_(Label l) { return emit_branch(Op::goto_, l); }
+  Assembler& ifeq(Label l) { return emit_branch(Op::ifeq, l); }
+  Assembler& ifne(Label l) { return emit_branch(Op::ifne, l); }
+  Assembler& iflt(Label l) { return emit_branch(Op::iflt, l); }
+  Assembler& ifge(Label l) { return emit_branch(Op::ifge, l); }
+  Assembler& ifgt(Label l) { return emit_branch(Op::ifgt, l); }
+  Assembler& ifle(Label l) { return emit_branch(Op::ifle, l); }
+  Assembler& if_icmpeq(Label l) { return emit_branch(Op::if_icmpeq, l); }
+  Assembler& if_icmpne(Label l) { return emit_branch(Op::if_icmpne, l); }
+  Assembler& if_icmplt(Label l) { return emit_branch(Op::if_icmplt, l); }
+  Assembler& if_icmpge(Label l) { return emit_branch(Op::if_icmpge, l); }
+  Assembler& if_icmpgt(Label l) { return emit_branch(Op::if_icmpgt, l); }
+  Assembler& if_icmple(Label l) { return emit_branch(Op::if_icmple, l); }
+  Assembler& if_acmpeq(Label l) { return emit_branch(Op::if_acmpeq, l); }
+  Assembler& if_acmpne(Label l) { return emit_branch(Op::if_acmpne, l); }
+  Assembler& ifnull(Label l) { return emit_branch(Op::ifnull, l); }
+  Assembler& ifnonnull(Label l) { return emit_branch(Op::ifnonnull, l); }
+
+  // ---- switches ----
+  Assembler& tableswitch(std::int32_t low, const std::vector<Label>& targets,
+                         Label default_target);
+  Assembler& lookupswitch(const std::vector<std::pair<std::int32_t, Label>>&
+                              cases,
+                          Label default_target);
+
+  // ---- finish ----
+  // Patches labels, resolves call pop/push, runs the verifier; throws
+  // std::runtime_error with a diagnostic if the method is malformed.
+  Method build();
+
+  // Current linear position (next instruction index).
+  std::int32_t position() const noexcept {
+    return static_cast<std::int32_t>(method_.code.size());
+  }
+
+ private:
+  Assembler& push_inst(Instruction inst);
+  std::int32_t method_cp(const std::string& qualified, int argc,
+                         ValueType ret);
+
+  Program& program_;
+  Method method_;
+  std::vector<std::int32_t> label_pos_;  // label id -> linear index (-1 open)
+  // (instruction index, label id) fixups for branch targets
+  std::vector<std::pair<std::int32_t, std::int32_t>> fixups_;
+  // (switch table index, case index(-1=default), label id)
+  std::vector<std::tuple<std::int32_t, std::int32_t, std::int32_t>>
+      switch_fixups_;
+};
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,76 @@
+#include "bytecode/printer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace javaflow::bytecode {
+
+std::string format_instruction(const Method& m, std::size_t index,
+                               const ConstantPool& pool) {
+  const Instruction& inst = m.code[index];
+  const OpInfo& info = op_info(inst.op);
+  std::ostringstream os;
+  os << std::setw(4) << index << ": " << std::left << std::setw(16)
+     << info.name << std::right;
+  switch (info.operand) {
+    case OperandKind::None:
+      break;
+    case OperandKind::Imm:
+      os << " " << inst.operand;
+      break;
+    case OperandKind::Local:
+      os << " r" << inst.operand;
+      if (inst.op == Op::iinc) os << ", " << inst.operand2;
+      break;
+    case OperandKind::Branch:
+      os << " -> " << inst.target;
+      break;
+    case OperandKind::Switch: {
+      const SwitchTable& t =
+          m.switches[static_cast<std::size_t>(inst.operand)];
+      os << " {";
+      for (std::size_t k = 0; k < t.keys.size(); ++k) {
+        if (k) os << ", ";
+        os << t.keys[k] << "->" << t.targets[k];
+      }
+      os << ", default->" << t.default_target << "}";
+      break;
+    }
+    case OperandKind::Cp: {
+      const CpEntry& e = pool.at(inst.operand);
+      os << " #" << inst.operand << " ";
+      switch (e.kind) {
+        case CpEntry::Kind::Int: os << "<int " << e.i << ">"; break;
+        case CpEntry::Kind::Long: os << "<long " << e.i << ">"; break;
+        case CpEntry::Kind::Float: os << "<float " << e.d << ">"; break;
+        case CpEntry::Kind::Double: os << "<double " << e.d << ">"; break;
+        case CpEntry::Kind::Str: os << "<str \"" << e.s << "\">"; break;
+        case CpEntry::Kind::Field:
+          os << "<field " << e.field.class_name << "." << e.field.field_name
+             << ">";
+          break;
+        case CpEntry::Kind::Method:
+          os << "<method " << e.method.qualified_name << ">";
+          break;
+        case CpEntry::Kind::Class:
+          os << "<class " << e.cls.class_name << ">";
+          break;
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string disassemble(const Method& m, const ConstantPool& pool) {
+  std::ostringstream os;
+  os << "method " << m.name << "  (args=" << int(m.num_args)
+     << ", locals=" << m.max_locals << ", stack=" << m.max_stack
+     << ", insts=" << m.code.size() << ")\n";
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    os << format_instruction(m, i, pool) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,18 @@
+// JAVAP-style disassembly of methods (used by the Appendix C / Figure 28
+// reproduction and for diagnostics).
+#pragma once
+
+#include <string>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::bytecode {
+
+// One instruction, e.g. "  12: if_icmplt     -> 4".
+std::string format_instruction(const Method& m, std::size_t index,
+                               const ConstantPool& pool);
+
+// Whole method listing with header (name, args, locals, stack).
+std::string disassemble(const Method& m, const ConstantPool& pool);
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,48 @@
+// Textual interchange for programs — the reproduction's analogue of the
+// Jasmine assembler format the paper's analysis pipeline used ("The
+// Jasmine language ... is a way to learn and manipulate Java ByteCode
+// statements without the complexity of the class file format", §5.3).
+//
+// A program serializes to a line-oriented ".jfasm" document:
+//
+//   .class scimark.utils.Random
+//   .field m ref
+//   .static count int
+//   .end
+//
+//   .method scimark.utils.Random.nextDouble()D
+//   .benchmark scimark.monte_carlo
+//   .instance
+//   .args ref
+//   .returns double
+//       0: aload_0
+//       1: getfield scimark.utils.Random.m ref
+//       7: ifge 9
+//      12: ldc2_w double 4.656612875245797e-10
+//   .end
+//
+// Branch operands are linear-address targets; constant-pool entries are
+// written inline and re-interned on parse. write/parse round-trip exactly
+// (a property the test suite checks over the whole kernel corpus).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::bytecode {
+
+// ---- writing ----
+void write_program(const Program& program, std::ostream& os);
+std::string write_program(const Program& program);
+void write_method(const Method& m, const ConstantPool& pool,
+                  std::ostream& os);
+
+// ---- parsing ----
+// Throws std::runtime_error with a line-numbered message on malformed
+// input. Parsed methods are re-verified.
+Program parse_program(const std::string& text);
+Program parse_program(std::istream& is);
+
+}  // namespace javaflow::bytecode

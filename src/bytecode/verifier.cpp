@@ -1,0 +1,316 @@
+#include "bytecode/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace javaflow::bytecode {
+namespace {
+
+using Stack = std::vector<ValueType>;
+
+ValueType type_from_sig_char(char c) {
+  switch (c) {
+    case 'I': return ValueType::Int;
+    case 'J': return ValueType::Long;
+    case 'F': return ValueType::Float;
+    case 'D': return ValueType::Double;
+    case 'A': return ValueType::Ref;
+    default: return ValueType::Void;
+  }
+}
+
+bool is_generic_sig_char(char c) {
+  return c == 'X' || c == 'Y' || c == 'Z' || c == 'W';
+}
+
+struct Verifier {
+  const Method& m;
+  const ConstantPool& pool;
+  VerifyResult result;
+
+  std::vector<Stack> entry;      // entry stack per instruction
+  std::vector<bool> reachable;
+
+  explicit Verifier(const Method& method, const ConstantPool& cp)
+      : m(method), pool(cp) {
+    entry.resize(m.code.size());
+    reachable.assign(m.code.size(), false);
+  }
+
+  [[nodiscard]] bool fail(std::size_t at, const std::string& why) {
+    std::ostringstream os;
+    os << "@" << at << " " << op_name(m.code[at].op) << ": " << why;
+    result.error = os.str();
+    return false;
+  }
+
+  // Applies one instruction to `s`; returns false (with error set) on a
+  // structural violation. `at` is the linear index, for diagnostics.
+  bool transfer(std::size_t at, Stack& s) {
+    const Instruction& inst = m.code[at];
+    const OpInfo& info = op_info(inst.op);
+
+    // --- special-cased opcodes whose types come from the pool/site ---
+    switch (inst.op) {
+      case Op::ldc:
+      case Op::ldc_w:
+      case Op::ldc2_w:
+      case Op::ldc_quick:
+      case Op::ldc_w_quick:
+      case Op::ldc2_w_quick:
+        s.push_back(pool.load_type(inst.operand));
+        return true;
+      case Op::getstatic:
+      case Op::getstatic_quick:
+        s.push_back(pool.at(inst.operand).field.type);
+        return true;
+      case Op::getfield:
+      case Op::getfield_quick: {
+        if (s.empty()) return fail(at, "stack underflow");
+        if (s.back() != ValueType::Ref) return fail(at, "expected ref");
+        s.pop_back();
+        s.push_back(pool.at(inst.operand).field.type);
+        return true;
+      }
+      case Op::putstatic:
+      case Op::putstatic_quick: {
+        if (s.empty()) return fail(at, "stack underflow");
+        if (s.back() != pool.at(inst.operand).field.type) {
+          return fail(at, "field type mismatch");
+        }
+        s.pop_back();
+        return true;
+      }
+      case Op::putfield:
+      case Op::putfield_quick: {
+        if (s.size() < 2) return fail(at, "stack underflow");
+        if (s.back() != pool.at(inst.operand).field.type) {
+          return fail(at, "field type mismatch");
+        }
+        s.pop_back();
+        if (s.back() != ValueType::Ref) return fail(at, "expected ref");
+        s.pop_back();
+        return true;
+      }
+      case Op::invokevirtual:
+      case Op::invokespecial:
+      case Op::invokestatic:
+      case Op::invokeinterface: {
+        if (s.size() < inst.pop) return fail(at, "stack underflow at call");
+        s.resize(s.size() - inst.pop);
+        const MethodRef& ref = pool.at(inst.operand).method;
+        if (ref.return_type != ValueType::Void) {
+          s.push_back(ref.return_type);
+        }
+        return true;
+      }
+      case Op::multianewarray: {
+        if (s.size() < inst.pop) return fail(at, "stack underflow");
+        for (int k = 0; k < inst.pop; ++k) {
+          if (s.back() != ValueType::Int) {
+            return fail(at, "array dimension must be int");
+          }
+          s.pop_back();
+        }
+        s.push_back(ValueType::Ref);
+        return true;
+      }
+      case Op::jsr:
+      case Op::jsr_w:
+      case Op::ret:
+        // Not deployed to the fabric and excluded from the corpus (§6.3,
+        // "Special Instructions"); the verifier rejects them so they can
+        // never reach the machine by accident.
+        return fail(at, "jsr/ret are not supported in fabric methods");
+      default:
+        break;
+    }
+
+    // --- generic signature-driven path ---
+    const std::string_view sig = info.sig;
+    const std::size_t sep = sig.find('>');
+    const std::string_view pops = sig.substr(0, sep);
+    const std::string_view pushes = sig.substr(sep + 1);
+
+    // Bind generic letters against the current stack: the last pop char is
+    // the top of stack.
+    ValueType bound[4] = {ValueType::Void, ValueType::Void, ValueType::Void,
+                          ValueType::Void};
+    auto bind_index = [](char c) { return c - 'W'; };  // W,X,Y,Z -> 0..3
+
+    if (s.size() < pops.size()) return fail(at, "stack underflow");
+    for (std::size_t k = 0; k < pops.size(); ++k) {
+      const char c = pops[pops.size() - 1 - k];  // from top downward
+      const ValueType have = s[s.size() - 1 - k];
+      if (is_generic_sig_char(c)) {
+        ValueType& slot = bound[bind_index(c)];
+        if (slot == ValueType::Void) {
+          slot = have;
+        } else if (slot != have) {
+          return fail(at, "inconsistent generic operand types");
+        }
+      } else {
+        if (have != type_from_sig_char(c)) {
+          std::ostringstream os;
+          os << "operand type mismatch: expected " << c << " got "
+             << value_type_name(have);
+          return fail(at, os.str());
+        }
+      }
+    }
+    s.resize(s.size() - pops.size());
+    for (const char c : pushes) {
+      s.push_back(is_generic_sig_char(c) ? bound[bind_index(c)]
+                                         : type_from_sig_char(c));
+    }
+    return true;
+  }
+
+  // Local-variable type tracking is deliberately coarse (depth-correct,
+  // type-checked at load sites only when every path agrees); the machine's
+  // correctness depends on the *stack* discipline, which is fully checked.
+  bool check_locals(std::size_t at, const Stack& s) {
+    const Instruction& inst = m.code[at];
+    const Group g = inst.group();
+    if (g == Group::LocalRead || g == Group::LocalWrite ||
+        g == Group::LocalInc) {
+      const std::int32_t idx = local_index(inst);
+      if (idx < 0 || idx >= m.max_locals) {
+        return fail(at, "local index out of range");
+      }
+    }
+    if (g == Group::LocalWrite && s.empty()) {
+      return fail(at, "store with empty stack");
+    }
+    return true;
+  }
+
+  static std::int32_t local_index(const Instruction& inst) {
+    switch (inst.op) {
+      case Op::iload_0: case Op::lload_0: case Op::fload_0:
+      case Op::dload_0: case Op::aload_0: case Op::istore_0:
+      case Op::lstore_0: case Op::fstore_0: case Op::dstore_0:
+      case Op::astore_0:
+        return 0;
+      case Op::iload_1: case Op::lload_1: case Op::fload_1:
+      case Op::dload_1: case Op::aload_1: case Op::istore_1:
+      case Op::lstore_1: case Op::fstore_1: case Op::dstore_1:
+      case Op::astore_1:
+        return 1;
+      case Op::iload_2: case Op::lload_2: case Op::fload_2:
+      case Op::dload_2: case Op::aload_2: case Op::istore_2:
+      case Op::lstore_2: case Op::fstore_2: case Op::dstore_2:
+      case Op::astore_2:
+        return 2;
+      case Op::iload_3: case Op::lload_3: case Op::fload_3:
+      case Op::dload_3: case Op::aload_3: case Op::istore_3:
+      case Op::lstore_3: case Op::fstore_3: case Op::dstore_3:
+      case Op::astore_3:
+        return 3;
+      default:
+        return inst.operand;
+    }
+  }
+
+  // Successor linear indices of instruction `at` (empty for terminators).
+  std::vector<std::int32_t> successors(std::size_t at) const {
+    const Instruction& inst = m.code[at];
+    std::vector<std::int32_t> out;
+    const Group g = inst.group();
+    if (g == Group::Return) return out;  // incl. athrow
+    if (inst.op == Op::tableswitch || inst.op == Op::lookupswitch) {
+      const SwitchTable& table =
+          m.switches[static_cast<std::size_t>(inst.operand)];
+      out = table.targets;
+      out.push_back(table.default_target);
+      return out;
+    }
+    if (inst.is_branch()) {
+      out.push_back(inst.target);
+      if (inst.op != Op::goto_ && inst.op != Op::goto_w) {
+        out.push_back(static_cast<std::int32_t>(at) + 1);
+      }
+      return out;
+    }
+    out.push_back(static_cast<std::int32_t>(at) + 1);
+    return out;
+  }
+
+  bool merge_into(std::int32_t succ, const Stack& s, std::size_t from) {
+    if (succ < 0 || static_cast<std::size_t>(succ) >= m.code.size()) {
+      return fail(from, "branch/fall-through outside method");
+    }
+    const auto idx = static_cast<std::size_t>(succ);
+    if (!reachable[idx]) {
+      reachable[idx] = true;
+      entry[idx] = s;
+      worklist.push_back(succ);
+      return true;
+    }
+    if (entry[idx] != s) {
+      // Figure 9: merge points must agree on the full stack shape.
+      std::ostringstream os;
+      os << "stack shape mismatch at merge target " << succ << " (depth "
+         << entry[idx].size() << " vs " << s.size() << ")";
+      result.error = os.str();
+      return false;
+    }
+    return true;
+  }
+
+  std::deque<std::int32_t> worklist;
+
+  bool run() {
+    if (m.code.empty()) {
+      result.error = "empty method";
+      return false;
+    }
+    reachable[0] = true;
+    entry[0] = {};
+    worklist.push_back(0);
+    std::size_t max_depth = 0;
+
+    while (!worklist.empty()) {
+      const auto at = static_cast<std::size_t>(worklist.front());
+      worklist.pop_front();
+      Stack s = entry[at];
+      if (!check_locals(at, s)) return false;
+      if (!transfer(at, s)) return false;
+      max_depth = std::max(max_depth, s.size());
+      for (const std::int32_t succ : successors(at)) {
+        if (!merge_into(succ, s, at)) return false;
+      }
+      // Return-type check.
+      const Instruction& inst = m.code[at];
+      if (inst.group() == Group::Return && inst.op != Op::athrow) {
+        const ValueType want = m.return_type;
+        const bool has_val = inst.op != Op::return_;
+        if (has_val != (want != ValueType::Void)) {
+          return fail(at, "return arity disagrees with method signature");
+        }
+      }
+    }
+
+    result.max_stack = static_cast<std::uint16_t>(max_depth);
+    result.entry_depth.resize(m.code.size(), -1);
+    result.entry_stack.resize(m.code.size());
+    for (std::size_t i = 0; i < m.code.size(); ++i) {
+      if (reachable[i]) {
+        result.entry_depth[i] = static_cast<std::int32_t>(entry[i].size());
+        result.entry_stack[i] = entry[i];
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+VerifyResult verify(const Method& m, const ConstantPool& pool) {
+  Verifier v(m, pool);
+  v.result.ok = v.run();
+  return std::move(v.result);
+}
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,34 @@
+// ByteCode verifier.
+//
+// Enforces the JVM structural restrictions the JavaFlow machine relies on
+// (paper §3.6): every instruction must see the same stack configuration
+// (depth AND types) from every entry point (Figure 9 shows the invalid
+// case), the stack never underflows, typed operations see matching operand
+// types, and execution cannot fall off the end of the method. It also
+// computes max_stack, which the machine uses to decide whether a method
+// fits the fabric's per-node buffering (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::bytecode {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;
+  std::uint16_t max_stack = 0;
+  // Stack depth on entry to each instruction; -1 for unreachable code.
+  std::vector<std::int32_t> entry_depth;
+  // Stack types on entry to each instruction (bottom..top); empty for
+  // unreachable code. Consumed by the dataflow-graph builder.
+  std::vector<std::vector<ValueType>> entry_stack;
+};
+
+// Verify `m` against `pool`. Never throws; failures are reported in-band.
+VerifyResult verify(const Method& m, const ConstantPool& pool);
+
+}  // namespace javaflow::bytecode

@@ -1,0 +1,96 @@
+#include "core/fabric_manager.hpp"
+
+namespace javaflow {
+
+FabricManager::FabricManager(sim::MachineConfig config,
+                             sim::EngineOptions engine_options)
+    : config_(std::move(config)),
+      engine_(config_, engine_options),
+      fabric_(config_.fabric_options()),
+      occupied_(static_cast<std::size_t>(config_.capacity), false) {}
+
+std::optional<FabricManager::MethodId> FabricManager::load(
+    const bytecode::Method& m, const bytecode::ConstantPool& pool) {
+  fabric::Placement placement =
+      fabric::load_method(fabric_, m, occupied_, /*first_slot=*/0);
+  if (!placement.fits) return std::nullopt;
+  fabric::ResolutionResult resolution =
+      fabric::resolve(fabric_, m, placement, pool);
+  if (!resolution.ok) return std::nullopt;
+
+  Resident r;
+  r.id = next_id_++;
+  r.method = &m;
+  r.anchor_slot = placement.slot_of.empty() ? -1 : placement.slot_of[0];
+  for (const std::int32_t slot : placement.slot_of) {
+    occupied_[static_cast<std::size_t>(slot)] = true;
+  }
+  occupied_count_ += static_cast<std::int32_t>(placement.slot_of.size());
+  r.placement = std::move(placement);
+  r.resolution = std::move(resolution);
+  const MethodId id = r.id;
+  residents_.emplace(id, std::move(r));
+  return id;
+}
+
+bool FabricManager::unload(MethodId id) {
+  auto it = residents_.find(id);
+  if (it == residents_.end() || it->second.busy) return false;
+  for (const std::int32_t slot : it->second.placement.slot_of) {
+    occupied_[static_cast<std::size_t>(slot)] = false;
+  }
+  occupied_count_ -=
+      static_cast<std::int32_t>(it->second.placement.slot_of.size());
+  residents_.erase(it);
+  return true;
+}
+
+std::optional<sim::RunMetrics> FabricManager::execute(
+    MethodId id, sim::BranchPredictor::Scenario scenario) {
+  auto it = residents_.find(id);
+  if (it == residents_.end() || it->second.busy) {
+    return std::nullopt;  // unknown method or Anchor busy (§4.3)
+  }
+  it->second.busy = true;
+  sim::BranchPredictor predictor(scenario);
+  sim::RunMetrics metrics = engine_.run(
+      *it->second.method, it->second.resolution.graph,
+      it->second.placement, predictor);
+  it->second.busy = false;
+  return metrics;
+}
+
+std::optional<std::int64_t> FabricManager::quiesce_and_rebind(MethodId id) {
+  auto it = residents_.find(id);
+  if (it == residents_.end() || it->second.busy) return std::nullopt;
+  const Resident& r = it->second;
+  // Two full serial passes over the method's span: the QUIESE_TOKEN stops
+  // execution, then the RESETADDRESS_TOKEN walks every node; storage
+  // nodes re-fetch their Heap/Method-Area pointers through the ring.
+  const std::int64_t span =
+      r.placement.max_slot - r.anchor_slot + 1;
+  std::int64_t storage_nodes = 0;
+  for (std::size_t i = 0; i < r.method->code.size(); ++i) {
+    const bytecode::Group g = r.method->code[i].group();
+    if (g == bytecode::Group::MemRead || g == bytecode::Group::MemWrite ||
+        g == bytecode::Group::MemConstant) {
+      ++storage_nodes;
+      fabric_.ring().record_request(net::RingService::ConstantRead);
+    }
+  }
+  // Pointer refreshes overlap the serial walk (each storage node issues
+  // its ring request as the token passes); the total cost is the two
+  // token circulations plus the last node's outstanding ring trip.
+  const std::int64_t tail_trip =
+      storage_nodes > 0 ? fabric_.ring().service_mesh_cycles(
+                              net::RingService::ConstantRead)
+                        : 0;
+  return 2 * span + tail_trip;
+}
+
+const FabricManager::Resident* FabricManager::find(MethodId id) const {
+  auto it = residents_.find(id);
+  return it == residents_.end() ? nullptr : &it->second;
+}
+
+}  // namespace javaflow

@@ -1,0 +1,80 @@
+// Multi-method fabric management (paper §6.2 "Management and Cleanup",
+// §4.3 atomic-execution limits, and the Chapter 8 superposition claim).
+//
+// The GPP "has to have some idea about how many methods are deployed and
+// how they are being utilized": this manager owns one physical fabric's
+// slot occupancy, loads methods greedily around existing residents
+// (busy nodes pass the CMD_LOAD_INSTRUCTION stream along), enforces the
+// one-thread-per-method rule through Anchor busy state, and frees slots
+// again on CMD_UNLOAD_INSTRUCTION.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bytecode/method.hpp"
+#include "fabric/loader.hpp"
+#include "fabric/resolver.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow {
+
+class FabricManager {
+ public:
+  using MethodId = std::int32_t;
+
+  struct Resident {
+    MethodId id = -1;
+    const bytecode::Method* method = nullptr;
+    std::int32_t anchor_slot = -1;  // first slot of the method's region
+    fabric::Placement placement;
+    fabric::ResolutionResult resolution;
+    bool busy = false;  // a thread is executing (Anchor busy, §4.3)
+  };
+
+  explicit FabricManager(sim::MachineConfig config,
+                         sim::EngineOptions engine_options = {});
+
+  // Loads + resolves a method around the existing residents. Returns
+  // nullopt if it cannot be placed within the node budget.
+  std::optional<MethodId> load(const bytecode::Method& m,
+                               const bytecode::ConstantPool& pool);
+
+  // CMD_UNLOAD_INSTRUCTION: frees every slot the method held. Fails (and
+  // changes nothing) while the method is executing.
+  bool unload(MethodId id);
+
+  // Executes a resident method under the atomic-execution rule: a busy
+  // Anchor rejects re-entry (§4.3 — "each individual method may have
+  // only one thread active at a time").
+  std::optional<sim::RunMetrics> execute(
+      MethodId id, sim::BranchPredictor::Scenario scenario);
+
+  // Garbage-collection support (§6.4): quiesce the method's execution
+  // (QUIESE_TOKEN down its chain), then force every storage node to
+  // re-resolve its Constant Pool pointers (RESETADDRESS_TOKEN). Returns
+  // the serial cycles the two passes consume, or nullopt if the method
+  // is unknown or currently executing.
+  std::optional<std::int64_t> quiesce_and_rebind(MethodId id);
+
+  const Resident* find(MethodId id) const;
+  std::size_t resident_count() const noexcept { return residents_.size(); }
+  // Instruction Nodes currently holding instructions.
+  std::int32_t occupied_slots() const noexcept { return occupied_count_; }
+  std::int32_t capacity() const noexcept { return config_.capacity; }
+
+ private:
+  sim::MachineConfig config_;
+  sim::Engine engine_;
+  fabric::Fabric fabric_;
+  std::vector<bool> occupied_;
+  std::int32_t occupied_count_ = 0;
+  MethodId next_id_ = 1;
+  std::map<MethodId, Resident> residents_;
+};
+
+}  // namespace javaflow

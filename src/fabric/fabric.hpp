@@ -1,0 +1,85 @@
+// The DataFlow Fabric: a 2-D grid of Instruction Nodes threaded by the
+// serial chain (paper §4.1-4.2, Figure 12).
+//
+// A fabric is characterized by its layout (Table 15 configurations):
+//   Compact       — homogeneous nodes, every chain slot accepts any
+//                   instruction
+//   Sparse        — every other chain slot is a blank (router-only) node
+//   Heterogeneous — repeating 10-slot row pattern of 6 arithmetic,
+//                   1 floating-point, 2 storage, 1 control node, sized
+//                   from the static mix analysis (Figure 26 / Table 6)
+//   Collapsed     — the Baseline measurement fiction: same nodes, but all
+//                   serial transfers are free and all mesh distances 1
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bytecode/opcode.hpp"
+#include "net/mesh_network.hpp"
+#include "net/ring_network.hpp"
+#include "net/serial_network.hpp"
+
+namespace javaflow::fabric {
+
+enum class LayoutKind : std::uint8_t {
+  Collapsed,
+  Compact,
+  Sparse,
+  Heterogeneous,
+};
+
+std::string_view layout_name(LayoutKind k) noexcept;
+
+struct FabricOptions {
+  LayoutKind layout = LayoutKind::Compact;
+  std::int32_t width = 10;           // mesh row width (§7.2)
+  std::int32_t capacity = 10000;     // Instruction Node budget (§2.1:
+                                     // "1,000 to 10,000 cores")
+  net::RingLatencies ring_latencies; // service-time assumptions
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricOptions options);
+
+  const FabricOptions& options() const noexcept { return options_; }
+  bool collapsed() const noexcept {
+    return options_.layout == LayoutKind::Collapsed;
+  }
+
+  // What a chain slot can host. Blank slots host nothing (Sparse layout).
+  // Homogeneous slots (Compact/Collapsed) host anything.
+  bool slot_accepts(std::int32_t slot, bytecode::NodeType type) const;
+  bytecode::NodeType slot_type(std::int32_t slot) const;
+
+  const net::SerialNetwork& serial() const noexcept { return serial_; }
+  net::SerialNetwork& serial() noexcept { return serial_; }
+  const net::MeshNetwork& mesh() const noexcept { return mesh_; }
+  net::MeshNetwork& mesh() noexcept { return mesh_; }
+  const net::RingNetwork& ring() const noexcept { return ring_; }
+  net::RingNetwork& ring() noexcept { return ring_; }
+
+  // Serial transit in ticks between two chain slots (1 tick per hop;
+  // free when collapsed). The anchor sits at virtual slot -1.
+  std::int64_t serial_ticks(std::int32_t from_slot,
+                            std::int32_t to_slot) const {
+    return serial_.transit_ticks(from_slot < 0 ? 0 : from_slot,
+                                 to_slot < 0 ? 0 : to_slot, collapsed()) +
+           ((from_slot < 0 || to_slot < 0) && !collapsed() ? 1 : 0);
+  }
+
+  // Mesh transit in mesh cycles between two chain slots.
+  std::int64_t mesh_cycles(std::int32_t from_slot,
+                           std::int32_t to_slot) const {
+    return mesh_.transit_mesh_cycles(from_slot, to_slot, collapsed());
+  }
+
+ private:
+  FabricOptions options_;
+  net::SerialNetwork serial_;
+  net::MeshNetwork mesh_;
+  net::RingNetwork ring_;
+};
+
+}  // namespace javaflow::fabric

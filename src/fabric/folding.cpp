@@ -1,0 +1,247 @@
+#include "fabric/folding.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace javaflow::fabric {
+namespace {
+
+using bytecode::Group;
+using bytecode::Instruction;
+using bytecode::Method;
+using bytecode::Op;
+
+using Slot = std::set<std::int32_t>;
+using Stack = std::vector<Slot>;
+
+std::vector<bool> branch_targets(const Method& m) {
+  std::vector<bool> marked(m.code.size(), false);
+  for (const Instruction& inst : m.code) {
+    if (inst.is_branch()) {
+      marked[static_cast<std::size_t>(inst.target)] = true;
+    }
+    if (inst.op == Op::tableswitch || inst.op == Op::lookupswitch) {
+      const bytecode::SwitchTable& t =
+          m.switches[static_cast<std::size_t>(inst.operand)];
+      for (const std::int32_t target : t.targets) {
+        marked[static_cast<std::size_t>(target)] = true;
+      }
+      marked[static_cast<std::size_t>(t.default_target)] = true;
+    }
+  }
+  return marked;
+}
+
+bool is_mover(const Instruction& inst) {
+  return inst.group() == Group::ArithMove && inst.pop > 0;
+}
+
+std::vector<bool> elidable_set(const Method& m) {
+  const std::vector<bool> targets = branch_targets(m);
+  std::vector<bool> elidable(m.code.size(), false);
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    elidable[i] = is_mover(m.code[i]) && !targets[i];
+  }
+  return elidable;
+}
+
+// Applies a mover's stack permutation to producer sets: each pushed slot
+// copies the popped slot bound to the same signature letter.
+void apply_mover(const Instruction& inst, Stack& s) {
+  const std::string_view sig = bytecode::op_info(inst.op).sig;
+  const auto sep = sig.find('>');
+  const std::string_view pops = sig.substr(0, sep);
+  const std::string_view pushes = sig.substr(sep + 1);
+  if (s.size() < pops.size()) {
+    throw std::runtime_error("folding: stack underflow at mover");
+  }
+  // Popped sets, bottom-first, matching the pops string left-to-right.
+  std::vector<Slot> in(pops.size());
+  for (std::size_t k = 0; k < pops.size(); ++k) {
+    in[k] = s[s.size() - pops.size() + k];
+  }
+  s.resize(s.size() - pops.size());
+  for (const char c : pushes) {
+    const std::size_t idx = pops.find(c);
+    if (idx == std::string_view::npos) {
+      throw std::runtime_error("folding: unmapped push letter");
+    }
+    s.push_back(in[idx]);
+  }
+}
+
+std::vector<std::int32_t> successors(const Method& m, std::size_t at) {
+  const Instruction& inst = m.code[at];
+  std::vector<std::int32_t> out;
+  if (inst.group() == Group::Return) return out;
+  if (inst.op == Op::tableswitch || inst.op == Op::lookupswitch) {
+    const bytecode::SwitchTable& t =
+        m.switches[static_cast<std::size_t>(inst.operand)];
+    out = t.targets;
+    out.push_back(t.default_target);
+    return out;
+  }
+  if (inst.is_branch()) {
+    out.push_back(inst.target);
+    if (inst.op != Op::goto_ && inst.op != Op::goto_w) {
+      out.push_back(static_cast<std::int32_t>(at) + 1);
+    }
+    return out;
+  }
+  out.push_back(static_cast<std::int32_t>(at) + 1);
+  return out;
+}
+
+// Dataflow graph with the elidable movers handled transparently.
+DataflowGraph build_transparent_graph(const Method& m,
+                                      const std::vector<bool>& elidable) {
+  const std::size_t n = m.code.size();
+  std::vector<Stack> entry(n);
+  std::vector<bool> reachable(n, false);
+  std::deque<std::int32_t> worklist;
+  reachable[0] = true;
+  worklist.push_back(0);
+  std::set<std::tuple<std::int32_t, std::int32_t, std::uint8_t>> edge_set;
+
+  auto merge_into = [&](std::int32_t succ, const Stack& s) {
+    const auto idx = static_cast<std::size_t>(succ);
+    if (!reachable[idx]) {
+      reachable[idx] = true;
+      entry[idx] = s;
+      worklist.push_back(succ);
+      return;
+    }
+    bool grew = false;
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      for (const std::int32_t p : s[k]) {
+        if (entry[idx][k].insert(p).second) grew = true;
+      }
+    }
+    if (grew) worklist.push_back(succ);
+  };
+
+  while (!worklist.empty()) {
+    const auto at = static_cast<std::size_t>(worklist.front());
+    worklist.pop_front();
+    Stack s = entry[at];
+    const Instruction& inst = m.code[at];
+    if (elidable[at]) {
+      apply_mover(inst, s);  // transparent: no edges, just permutation
+    } else {
+      for (int k = 0; k < inst.pop; ++k) {
+        const Slot top = std::move(s.back());
+        s.pop_back();
+        for (const std::int32_t producer : top) {
+          edge_set.emplace(producer, static_cast<std::int32_t>(at),
+                           static_cast<std::uint8_t>(k + 1));
+        }
+      }
+      for (int k = 0; k < inst.push; ++k) {
+        s.push_back(Slot{static_cast<std::int32_t>(at)});
+      }
+    }
+    for (const std::int32_t succ : successors(m, at)) {
+      merge_into(succ, s);
+    }
+  }
+
+  DataflowGraph g;
+  g.consumers_of.resize(n);
+  std::map<std::pair<std::int32_t, std::uint8_t>, std::vector<std::int32_t>>
+      by_consumer_side;
+  for (const auto& [producer, consumer, side] : edge_set) {
+    by_consumer_side[{consumer, side}].push_back(producer);
+  }
+  for (auto& [key, producers] : by_consumer_side) {
+    const bool merge = producers.size() >= 2;
+    if (merge) ++g.merge_count;
+    for (const std::int32_t producer : producers) {
+      Edge e;
+      e.producer = producer;
+      e.consumer = key.first;
+      e.side = key.second;
+      e.merge = merge;
+      e.back = producer >= key.first;
+      if (e.back) ++g.back_merge_count;
+      g.edges.push_back(e);
+      g.consumers_of[static_cast<std::size_t>(producer)].push_back(e);
+      ++g.total_dflows;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::int32_t foldable_count(const Method& m) {
+  const auto elidable = elidable_set(m);
+  return static_cast<std::int32_t>(
+      std::count(elidable.begin(), elidable.end(), true));
+}
+
+FoldedMethod fold_moves(const Method& m,
+                        const bytecode::ConstantPool& pool) {
+  (void)pool;
+  FoldedMethod out;
+  const std::vector<bool> elidable = elidable_set(m);
+  const DataflowGraph rewired = build_transparent_graph(m, elidable);
+  if (rewired.back_merge_count != 0) {
+    return out;  // pathological input; caller falls back to unfolded
+  }
+
+  // Index remap: elided instructions disappear; everything else shifts.
+  out.old_to_new.assign(m.code.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    if (!elidable[i]) {
+      out.old_to_new[i] = next++;
+    } else {
+      ++out.elided;
+    }
+  }
+
+  // Folded code image with remapped control flow. (Branch targets are
+  // never elided, so every target remaps cleanly.)
+  out.method = m;
+  out.method.name = m.name + "$folded";
+  out.method.code.clear();
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    if (elidable[i]) continue;
+    Instruction inst = m.code[i];
+    if (inst.is_branch()) {
+      inst.target = out.old_to_new[static_cast<std::size_t>(inst.target)];
+    }
+    out.method.code.push_back(inst);
+  }
+  for (bytecode::SwitchTable& t : out.method.switches) {
+    for (std::int32_t& target : t.targets) {
+      target = out.old_to_new[static_cast<std::size_t>(target)];
+    }
+    t.default_target =
+        out.old_to_new[static_cast<std::size_t>(t.default_target)];
+  }
+
+  // Graph remap.
+  out.graph.consumers_of.resize(out.method.code.size());
+  for (const Edge& e : rewired.edges) {
+    Edge ne = e;
+    ne.producer = out.old_to_new[static_cast<std::size_t>(e.producer)];
+    ne.consumer = out.old_to_new[static_cast<std::size_t>(e.consumer)];
+    if (ne.producer < 0 || ne.consumer < 0) {
+      return out;  // should not happen: elided nodes have no edges
+    }
+    out.graph.edges.push_back(ne);
+    out.graph.consumers_of[static_cast<std::size_t>(ne.producer)]
+        .push_back(ne);
+    ++out.graph.total_dflows;
+  }
+  out.graph.merge_count = rewired.merge_count;
+  out.graph.back_merge_count = rewired.back_merge_count;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace javaflow::fabric

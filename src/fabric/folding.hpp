@@ -1,0 +1,47 @@
+// Instruction folding (paper §6.4 "Enhancements").
+//
+// "Since many of the JVM ByteCode instructions simply move data in the
+// stack ..., there is the opportunity to eliminate instructions by having
+// a node declare itself void. ... Nodes that perform only data transfers
+// would send messages up to their producer nodes to change the producer
+// node targets to the targets of the redundant nodes. The redundant nodes
+// could then be returned to the unoccupied state."
+//
+// This module performs that rewiring offline: pure stack-move
+// instructions (dup/swap/pop family) become *transparent* — their
+// producers deliver straight to their consumers — and are removed from
+// the loaded image. Constants are kept (they produce data), and movers
+// that are branch targets are kept (control flow needs a landing node).
+// The Chapter 7 results deliberately exclude folding ("The analysis
+// reported in Chapter 7 does not account for this folding enhancement"),
+// so the reproduction exposes it as an ablation (bench/ablation_folding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/method.hpp"
+#include "fabric/dataflow_graph.hpp"
+
+namespace javaflow::fabric {
+
+struct FoldedMethod {
+  bool ok = false;
+  bytecode::Method method;  // movers removed, branch targets remapped
+  DataflowGraph graph;      // edges rewired producer -> final consumer
+  std::int32_t elided = 0;  // instructions returned to the free pool
+  // old linear index -> new linear index; -1 for elided instructions.
+  std::vector<std::int32_t> old_to_new;
+};
+
+// Folds `m`. The result's method/graph pair feeds the execution engine
+// directly (the folded image is a machine-level artifact, not verifiable
+// ByteCode — exactly like the paper's post-load rewiring).
+FoldedMethod fold_moves(const bytecode::Method& m,
+                        const bytecode::ConstantPool& pool);
+
+// Number of instructions fold_moves would elide, without building the
+// folded image (used by analysis tables).
+std::int32_t foldable_count(const bytecode::Method& m);
+
+}  // namespace javaflow::fabric

@@ -1,0 +1,1 @@
+#include "fabric/instruction_node.hpp"

@@ -1,0 +1,70 @@
+// Instruction Node runtime state (paper §4.2, Figure 13).
+//
+// One Instruction Data Unit per node, as in the paper's simulations
+// ("the simulations in Chapter 7 utilize a single Instruction Data Unit
+// in each Instruction Node"). The engine drives these state machines;
+// the firing rules per instruction group are in §6.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bytecode/method.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "net/message.hpp"
+
+namespace javaflow::fabric {
+
+// Figure 13 status values.
+enum class NodeStatus : std::uint8_t {
+  Ready,          // STATUS_READY — awaiting tokens
+  WaitingService, // storage read / GPP service outstanding
+  Fired,          // executed this pass (until loop reset)
+};
+
+struct InstructionNodeState {
+  // ---- static after load + resolution ----
+  bytecode::Instruction inst;
+  std::int32_t linear = -1;          // serial address
+  std::int32_t slot = -1;            // fabric chain slot (x, y, p)
+  std::vector<Edge> consumers;       // resolved target DataFlow addresses
+  std::vector<std::int32_t> source_linears;  // control-flow sources
+
+  // ---- dynamic per execution pass ----
+  NodeStatus status = NodeStatus::Ready;
+  bool head_received = false;
+  bool memory_token_held = false;    // ordered storage holds MEMORY_TOKEN
+  bool fired = false;
+  bool executing = false;
+  std::int32_t pops_received = 0;    // 'PopsReceived' counter
+  bool kill_next_register_token = false;  // LocalWrite fired before the
+                                          // stale REGISTER_TOKEN arrived
+  // Tokens buffered at control-transfer nodes (and TAIL everywhere).
+  std::deque<net::SerialMessage> buffered;
+  // Forward routing decision after a control node fires: tokens arriving
+  // later follow it until the TAIL passes.
+  bool pass_through = false;
+  std::int32_t route_to = net::kToNext;
+
+  bool is_control() const {
+    return bytecode::is_control_transfer(inst.group());
+  }
+
+  // Reset for the next loop iteration (HEAD_TOKEN passing up the reverse
+  // network resets every node it passes, §6.3 Control Flow).
+  void reset_for_iteration() {
+    status = NodeStatus::Ready;
+    head_received = false;
+    memory_token_held = false;
+    fired = false;
+    executing = false;
+    pops_received = 0;
+    kill_next_register_token = false;
+    pass_through = false;
+    route_to = net::kToNext;
+    buffered.clear();
+  }
+};
+
+}  // namespace javaflow::fabric

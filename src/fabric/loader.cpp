@@ -1,0 +1,55 @@
+#include "fabric/loader.hpp"
+
+namespace javaflow::fabric {
+namespace {
+
+Placement load_impl(const Fabric& fabric, const bytecode::Method& m,
+                    const std::vector<bool>* occupied,
+                    std::int32_t first_slot) {
+  Placement p;
+  p.slot_of.assign(m.code.size(), -1);
+  std::int32_t cursor = first_slot;
+  const std::int32_t capacity = fabric.options().capacity;
+  const auto is_occupied = [occupied](std::int32_t slot) {
+    return occupied != nullptr &&
+           static_cast<std::size_t>(slot) < occupied->size() &&
+           (*occupied)[static_cast<std::size_t>(slot)];
+  };
+
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const bytecode::NodeType want =
+        bytecode::node_type_for(m.code[i].group());
+    while (cursor < capacity &&
+           (!fabric.slot_accepts(cursor, want) || is_occupied(cursor))) {
+      ++cursor;
+    }
+    if (cursor >= capacity) {
+      p.fits = false;
+      return p;  // method does not fit the fabric (Filter rationale §7.3)
+    }
+    p.slot_of[i] = cursor;
+    p.max_slot = cursor;
+    ++cursor;  // greedy: the accepting node marks itself busy
+  }
+  p.fits = true;
+  // Pipelined streaming: one instruction injected per serial clock, the
+  // final instruction then rides to its slot.
+  p.load_cycles = static_cast<std::int64_t>(m.code.size()) +
+                  (p.max_slot - first_slot + 1);
+  return p;
+}
+
+}  // namespace
+
+Placement load_method(const Fabric& fabric, const bytecode::Method& m,
+                      std::int32_t first_slot) {
+  return load_impl(fabric, m, nullptr, first_slot);
+}
+
+Placement load_method(const Fabric& fabric, const bytecode::Method& m,
+                      const std::vector<bool>& occupied,
+                      std::int32_t first_slot) {
+  return load_impl(fabric, m, &occupied, first_slot);
+}
+
+}  // namespace javaflow::fabric

@@ -1,0 +1,73 @@
+// DataFlow address resolution (paper §6.2, Figures 21-22).
+//
+// After loading, two serial-network passes convert the procedural method
+// into producer/consumer DataFlow addressing:
+//   Phase A — CMD_SEND_ADDRESSES_DOWN: every control-transfer instruction
+//     announces its linear address to its target, so targets learn their
+//     non-sequential sources. The pass completes when the trailing
+//     TAIL_TOKEN returns to the Anchor (the chain wraps at the bottom
+//     instruction, §6.1).
+//   Phase B — CMD_SEND_NEEDS_UP: every instruction emits one need message
+//     per pop per control-flow source; needs travel the reverse network,
+//     each node forwarding relayed needs only after emitting its own
+//     (which is what creates the per-node queues of Table 11), until an
+//     upstream producer with an open push captures them.
+//
+// The simulation here reproduces the message movement, cycle counts and
+// queue depths of that protocol. Capture decisions are resolved with the
+// path-exact dataflow graph (the in-protocol equivalent is the Branch-ID
+// tagging of §6.2); tests verify that for branch-free regions a plain
+// greedy open-push matching reaches the same edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/loader.hpp"
+
+namespace javaflow::fabric {
+
+struct JumpStats {
+  std::int32_t count = 0;
+  double avg_length = 0.0;  // linear-address distance of the jump
+  std::int32_t max_length = 0;
+};
+
+struct ResolutionResult {
+  bool ok = false;
+
+  DataflowGraph graph;  // authoritative producer/consumer edges
+
+  // Protocol metrics
+  std::int64_t phase_a_cycles = 0;  // addresses-down circulation
+  std::int64_t phase_b_cycles = 0;  // needs-up until all captured
+  std::int64_t total_cycles = 0;    // Table 7 "Total Cycles"
+  std::int32_t max_queue_up = 0;    // Table 11 "Max Q Up"
+  std::int64_t need_messages = 0;   // needs emitted in phase B
+  std::int64_t need_hops = 0;       // total reverse-network hops
+
+  // Structural metrics (Tables 7, 10, 12-14)
+  std::int32_t total_dflows = 0;
+  std::int32_t merges = 0;
+  std::int32_t back_merges = 0;
+  JumpStats forward_jumps;
+  JumpStats back_jumps;
+  double fanout_avg = 0.0;   // over producers with >= 1 consumer
+  std::int32_t fanout_max = 0;
+  double arc_avg = 0.0;      // |consumer - producer| linear distance
+  std::int32_t arc_max = 0;
+};
+
+// Runs both resolution passes for a placed method.
+ResolutionResult resolve(const Fabric& fabric, const bytecode::Method& m,
+                         const Placement& placement,
+                         const bytecode::ConstantPool& pool);
+
+// The plain greedy open-push matcher (no branch tags): follows the §6.2
+// description literally. Exposed for tests — it must agree with the
+// dataflow graph on methods without DataFlow merges.
+std::vector<Edge> greedy_needs_up_edges(const bytecode::Method& m);
+
+}  // namespace javaflow::fabric

@@ -1,0 +1,162 @@
+#include "jvm/heap.hpp"
+
+namespace javaflow::jvm {
+
+Heap::Cell& Heap::cell(Ref r) {
+  if (r <= 0 || static_cast<std::size_t>(r) > cells_.size()) {
+    throw JvmException("NullPointerException");
+  }
+  return cells_[static_cast<std::size_t>(r) - 1];
+}
+
+const Heap::Cell& Heap::cell(Ref r) const {
+  if (r <= 0 || static_cast<std::size_t>(r) > cells_.size()) {
+    throw JvmException("NullPointerException");
+  }
+  return cells_[static_cast<std::size_t>(r) - 1];
+}
+
+Ref Heap::new_object(const bytecode::ClassDef& cls) {
+  Cell c;
+  c.array = false;
+  c.class_name = cls.name;
+  c.slots.reserve(cls.instance_fields.size());
+  for (const auto& [name, type] : cls.instance_fields) {
+    (void)name;
+    c.slots.push_back(Value::make_default(type));
+  }
+  cells_.push_back(std::move(c));
+  return static_cast<Ref>(cells_.size());
+}
+
+Value Heap::get_field(Ref obj, std::int32_t slot) const {
+  const Cell& c = cell(obj);
+  if (slot < 0 || static_cast<std::size_t>(slot) >= c.slots.size()) {
+    throw JvmException("field slot out of range");
+  }
+  return c.slots[static_cast<std::size_t>(slot)];
+}
+
+void Heap::put_field(Ref obj, std::int32_t slot, const Value& v) {
+  Cell& c = cell(obj);
+  if (slot < 0 || static_cast<std::size_t>(slot) >= c.slots.size()) {
+    throw JvmException("field slot out of range");
+  }
+  c.slots[static_cast<std::size_t>(slot)] = v;
+}
+
+const std::string& Heap::class_of(Ref obj) const { return cell(obj).class_name; }
+
+Ref Heap::new_array(ValueType element, std::int32_t length) {
+  if (length < 0) throw JvmException("NegativeArraySizeException");
+  Cell c;
+  c.array = true;
+  c.element = element;
+  c.slots.assign(static_cast<std::size_t>(length),
+                 Value::make_default(element));
+  cells_.push_back(std::move(c));
+  return static_cast<Ref>(cells_.size());
+}
+
+Ref Heap::new_multi_array(ValueType element,
+                          const std::vector<std::int32_t>& dims) {
+  if (dims.empty()) throw JvmException("multianewarray with no dimensions");
+  if (dims.size() == 1) return new_array(element, dims[0]);
+  const Ref outer = new_array(ValueType::Ref, dims[0]);
+  const std::vector<std::int32_t> rest(dims.begin() + 1, dims.end());
+  for (std::int32_t k = 0; k < dims[0]; ++k) {
+    array_set(outer, k, Value::make_ref(new_multi_array(element, rest)));
+  }
+  return outer;
+}
+
+std::int32_t Heap::array_length(Ref arr) const {
+  const Cell& c = cell(arr);
+  if (!c.array) throw JvmException("arraylength on non-array");
+  return static_cast<std::int32_t>(c.slots.size());
+}
+
+Value Heap::array_get(Ref arr, std::int32_t index) const {
+  const Cell& c = cell(arr);
+  if (!c.array) throw JvmException("array read on non-array");
+  if (index < 0 || static_cast<std::size_t>(index) >= c.slots.size()) {
+    throw JvmException("ArrayIndexOutOfBoundsException");
+  }
+  return c.slots[static_cast<std::size_t>(index)];
+}
+
+void Heap::array_set(Ref arr, std::int32_t index, const Value& v) {
+  Cell& c = cell(arr);
+  if (!c.array) throw JvmException("array write on non-array");
+  if (index < 0 || static_cast<std::size_t>(index) >= c.slots.size()) {
+    throw JvmException("ArrayIndexOutOfBoundsException");
+  }
+  c.slots[static_cast<std::size_t>(index)] = v;
+}
+
+ValueType Heap::array_element_type(Ref arr) const {
+  const Cell& c = cell(arr);
+  if (!c.array) throw JvmException("element type of non-array");
+  return c.element;
+}
+
+Ref Heap::new_string(const std::string& chars) {
+  const Ref arr =
+      new_array(ValueType::Int, static_cast<std::int32_t>(chars.size()));
+  for (std::size_t k = 0; k < chars.size(); ++k) {
+    array_set(arr, static_cast<std::int32_t>(k),
+              Value::make_int(static_cast<unsigned char>(chars[k])));
+  }
+  return arr;
+}
+
+std::string Heap::read_string(Ref arr) const {
+  const std::int32_t n = array_length(arr);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t k = 0; k < n; ++k) {
+    out.push_back(static_cast<char>(array_get(arr, k).as_int()));
+  }
+  return out;
+}
+
+Value Heap::get_static(const bytecode::ClassDef& cls, std::int32_t slot) {
+  std::vector<Value>& slots = statics_[cls.name];
+  if (slots.empty() && !cls.static_fields.empty()) {
+    for (const auto& [name, type] : cls.static_fields) {
+      (void)name;
+      slots.push_back(Value::make_default(type));
+    }
+  }
+  if (slot < 0 || static_cast<std::size_t>(slot) >= slots.size()) {
+    throw JvmException("static slot out of range");
+  }
+  return slots[static_cast<std::size_t>(slot)];
+}
+
+void Heap::put_static(const bytecode::ClassDef& cls, std::int32_t slot,
+                      const Value& v) {
+  std::vector<Value>& slots = statics_[cls.name];
+  if (slots.empty() && !cls.static_fields.empty()) {
+    for (const auto& [name, type] : cls.static_fields) {
+      (void)name;
+      slots.push_back(Value::make_default(type));
+    }
+  }
+  if (slot < 0 || static_cast<std::size_t>(slot) >= slots.size()) {
+    throw JvmException("static slot out of range");
+  }
+  slots[static_cast<std::size_t>(slot)] = v;
+}
+
+bool Heap::is_array(Ref r) const {
+  return r > 0 && static_cast<std::size_t>(r) <= cells_.size() &&
+         cells_[static_cast<std::size_t>(r) - 1].array;
+}
+
+bool Heap::is_object(Ref r) const {
+  return r > 0 && static_cast<std::size_t>(r) <= cells_.size() &&
+         !cells_[static_cast<std::size_t>(r) - 1].array;
+}
+
+}  // namespace javaflow::jvm

@@ -1,0 +1,74 @@
+// Managed heap for the reference interpreter.
+//
+// Implements the paper's Java memory organization (Figure 10): a Method
+// Area holding per-class static slots, and a Heap holding object instances
+// and arrays. Garbage collection is out of the paper's scope (§2.3) and
+// out of ours; the heap is an arena released wholesale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "jvm/value.hpp"
+
+namespace javaflow::jvm {
+
+// Raised for the runtime conditions the paper routes to the GPP's
+// exception machinery (§6.3 "Exceptions"): null dereference, array bounds,
+// arithmetic faults, user athrow.
+class JvmException : public std::runtime_error {
+ public:
+  explicit JvmException(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Heap {
+ public:
+  // ---- objects ----
+  // Allocates an instance with default-initialized fields per the class
+  // layout. The class must exist in the program image.
+  Ref new_object(const bytecode::ClassDef& cls);
+  Value get_field(Ref obj, std::int32_t slot) const;
+  void put_field(Ref obj, std::int32_t slot, const Value& v);
+  const std::string& class_of(Ref obj) const;
+
+  // ---- arrays ----
+  Ref new_array(ValueType element, std::int32_t length);
+  // Rectangular multi-dimensional array (multianewarray).
+  Ref new_multi_array(ValueType element, const std::vector<std::int32_t>& dims);
+  std::int32_t array_length(Ref arr) const;
+  Value array_get(Ref arr, std::int32_t index) const;
+  void array_set(Ref arr, std::int32_t index, const Value& v);
+  ValueType array_element_type(Ref arr) const;
+
+  // ---- strings (char arrays, enough for the db/jack kernels) ----
+  Ref new_string(const std::string& chars);
+  std::string read_string(Ref arr) const;
+
+  // ---- statics (Method Area) ----
+  // Lazily creates the class's static slot vector on first touch.
+  Value get_static(const bytecode::ClassDef& cls, std::int32_t slot);
+  void put_static(const bytecode::ClassDef& cls, std::int32_t slot,
+                  const Value& v);
+
+  bool is_array(Ref r) const;
+  bool is_object(Ref r) const;
+  std::size_t object_count() const noexcept { return cells_.size(); }
+
+ private:
+  struct Cell {
+    bool array = false;
+    std::string class_name;       // objects
+    ValueType element = ValueType::Int;  // arrays
+    std::vector<Value> slots;     // fields or elements
+  };
+  Cell& cell(Ref r);
+  const Cell& cell(Ref r) const;
+
+  std::vector<Cell> cells_;  // handle r refers to cells_[r-1]
+  std::map<std::string, std::vector<Value>> statics_;
+};
+
+}  // namespace javaflow::jvm

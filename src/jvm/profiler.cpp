@@ -1,0 +1,97 @@
+#include "jvm/profiler.hpp"
+
+#include <algorithm>
+
+namespace javaflow::jvm {
+
+using bytecode::Group;
+using bytecode::Op;
+
+void Profiler::record_invocation(const std::string& method,
+                                 const std::string& benchmark) {
+  MethodStats& s = methods_[method];
+  if (s.benchmark.empty()) s.benchmark = benchmark;
+  ++s.invocations;
+}
+
+void Profiler::record_op(const std::string& method, Op op) {
+  MethodStats& s = methods_[method];
+  ++s.op_counts[static_cast<std::uint8_t>(op)];
+  ++s.total_ops;
+}
+
+std::uint64_t Profiler::total_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : methods_) total += s.total_ops;
+  return total;
+}
+
+namespace {
+bool is_storage_group(Group g) {
+  return g == Group::MemConstant || g == Group::MemRead ||
+         g == Group::MemWrite;
+}
+}  // namespace
+
+std::uint64_t Profiler::storage_base_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : methods_) {
+    for (int b = 0; b < 256; ++b) {
+      if (s.op_counts[static_cast<std::size_t>(b)] == 0) continue;
+      if (!bytecode::is_valid_opcode(static_cast<std::uint8_t>(b))) continue;
+      const Op op = static_cast<Op>(b);
+      if (is_storage_group(bytecode::op_info(op).group) &&
+          bytecode::has_quick_form(op)) {
+        total += s.op_counts[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t Profiler::storage_quick_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : methods_) {
+    for (int b = 0; b < 256; ++b) {
+      if (s.op_counts[static_cast<std::size_t>(b)] == 0) continue;
+      if (!bytecode::is_valid_opcode(static_cast<std::uint8_t>(b))) continue;
+      const Op op = static_cast<Op>(b);
+      if (bytecode::is_quick(op)) {
+        total += s.op_counts[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, const Profiler::MethodStats*>>
+Profiler::by_hotness() const {
+  std::vector<std::pair<std::string, const MethodStats*>> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, s] : methods_) out.emplace_back(name, &s);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second->total_ops != b.second->total_ops) {
+      return a.second->total_ops > b.second->total_ops;
+    }
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, const Profiler::MethodStats*>>
+Profiler::hottest_covering(double fraction) const {
+  auto sorted = by_hotness();
+  const std::uint64_t total = total_ops();
+  const auto want = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  std::vector<std::pair<std::string, const MethodStats*>> out;
+  for (const auto& entry : sorted) {
+    if (seen >= want) break;
+    out.push_back(entry);
+    seen += entry.second->total_ops;
+  }
+  return out;
+}
+
+}  // namespace javaflow::jvm

@@ -1,0 +1,32 @@
+#include "jvm/value.hpp"
+
+#include <sstream>
+
+namespace javaflow::jvm {
+
+Value Value::make_default(ValueType t) {
+  switch (t) {
+    case ValueType::Int: return make_int(0);
+    case ValueType::Long: return make_long(0);
+    case ValueType::Float: return make_float(0.0);
+    case ValueType::Double: return make_double(0.0);
+    case ValueType::Ref: return make_ref(kNull);
+    case ValueType::Void: return Value{ValueType::Void, 0, 0.0, kNull};
+  }
+  return make_int(0);
+}
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  switch (v.type) {
+    case ValueType::Int: os << "int:" << v.as_int(); break;
+    case ValueType::Long: os << "long:" << v.as_long(); break;
+    case ValueType::Float: os << "float:" << v.d; break;
+    case ValueType::Double: os << "double:" << v.d; break;
+    case ValueType::Ref: os << "ref:" << v.ref; break;
+    case ValueType::Void: os << "void"; break;
+  }
+  return os.str();
+}
+
+}  // namespace javaflow::jvm

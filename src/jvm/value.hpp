@@ -1,0 +1,69 @@
+// Runtime value model for the reference interpreter.
+//
+// One `Value` per stack slot / local register, regardless of width —
+// mirroring the per-value pop/push accounting of the paper's Appendix A
+// (and the DataFlow fabric, where a 64-bit payload is simply a wider
+// serial/mesh payload, §6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::jvm {
+
+using bytecode::ValueType;
+
+// Heap handle; 0 is the null reference.
+using Ref = std::int32_t;
+inline constexpr Ref kNull = 0;
+
+struct Value {
+  ValueType type = ValueType::Int;
+  std::int64_t i = 0;  // Int (low 32 significant) / Long payload
+  double d = 0.0;      // Float / Double payload
+  Ref ref = kNull;     // Ref payload
+
+  static Value make_int(std::int32_t v) {
+    return Value{ValueType::Int, v, 0.0, kNull};
+  }
+  static Value make_long(std::int64_t v) {
+    return Value{ValueType::Long, v, 0.0, kNull};
+  }
+  static Value make_float(double v) {
+    return Value{ValueType::Float, 0, static_cast<float>(v), kNull};
+  }
+  static Value make_double(double v) {
+    return Value{ValueType::Double, 0, v, kNull};
+  }
+  static Value make_ref(Ref r) { return Value{ValueType::Ref, 0, 0.0, r}; }
+  static Value make_default(ValueType t);
+
+  std::int32_t as_int() const { return static_cast<std::int32_t>(i); }
+  std::int64_t as_long() const { return i; }
+  double as_fp() const { return d; }
+  Ref as_ref() const { return ref; }
+
+  // Exact structural equality (used by tests).
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type != b.type) return false;
+    switch (a.type) {
+      case ValueType::Int:
+      case ValueType::Long:
+        return a.i == b.i;
+      case ValueType::Float:
+      case ValueType::Double:
+        return a.d == b.d;
+      case ValueType::Ref:
+        return a.ref == b.ref;
+      case ValueType::Void:
+        return true;
+    }
+    return false;
+  }
+};
+
+std::string to_string(const Value& v);
+
+}  // namespace javaflow::jvm

@@ -1,0 +1,38 @@
+#include "net/message.hpp"
+
+namespace javaflow::net {
+
+std::string_view command_name(Command c) noexcept {
+  switch (c) {
+    case Command::LoadInstruction: return "CMD_LOAD_INSTRUCTION";
+    case Command::UnloadInstruction: return "CMD_UNLOAD_INSTRUCTION";
+    case Command::SendAddressesDown: return "CMD_SEND_ADDRESSES_DOWN";
+    case Command::SendNeedsUp: return "CMD_SEND_NEEDS_UP";
+    case Command::AddressToken: return "ADDRESS_RESOLUTION_TOKEN";
+    case Command::NeedRequest: return "NEED_REQUEST";
+    case Command::HeadToken: return "HEAD_TOKEN";
+    case Command::MemoryToken: return "MEMORY_TOKEN";
+    case Command::RegisterToken: return "REGISTER_TOKEN";
+    case Command::TailToken: return "TAIL_TOKEN";
+    case Command::ExceptionToken: return "EXCEPTION_TOKEN";
+    case Command::QuieseToken: return "QUIESE_TOKEN";
+    case Command::ResetAddressToken: return "RESETADDRESS_TOKEN";
+    case Command::SubsequentMessage: return "SUBSEQUENT_MESSAGE";
+  }
+  return "?";
+}
+
+DataType data_type_for(bytecode::ValueType t) noexcept {
+  using bytecode::ValueType;
+  switch (t) {
+    case ValueType::Int: return DataType::Int;
+    case ValueType::Long: return DataType::Long;
+    case ValueType::Float: return DataType::Float;
+    case ValueType::Double: return DataType::Double;
+    case ValueType::Ref: return DataType::Ref;
+    case ValueType::Void: return DataType::None;
+  }
+  return DataType::None;
+}
+
+}  // namespace javaflow::net

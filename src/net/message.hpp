@@ -1,0 +1,93 @@
+// On-chip network message model (paper §6.1, Figures 14-16).
+//
+// Serial messages ride the two ordered networks (forward/down and
+// reverse/up); mesh messages carry producer->consumer DataFlow operands;
+// ring messages reach the Memory subsystem and the GPP.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::net {
+
+// Figure 14 — network command values. The token commands double as the
+// execution-time token kinds (§6.3).
+enum class Command : std::uint8_t {
+  // Instruction load & address resolution
+  LoadInstruction,      // CMD_LOAD_INSTRUCTION
+  UnloadInstruction,    // CMD_UNLOAD_INSTRUCTION
+  SendAddressesDown,    // CMD_SEND_ADDRESSES_DOWN
+  SendNeedsUp,          // CMD_SEND_NEEDS_UP
+  AddressToken,         // source linear address announcement
+  NeedRequest,          // a pop's request for a producer
+  // Execution token bundle
+  HeadToken,
+  MemoryToken,
+  RegisterToken,
+  TailToken,
+  // Special conditions & management (not exercised by the simulation,
+  // §6.1 "Special Conditions and Management")
+  ExceptionToken,
+  QuieseToken,
+  ResetAddressToken,
+  SubsequentMessage,    // 64-bit payload continuation
+};
+
+std::string_view command_name(Command c) noexcept;
+
+// Figure 15 — strongly-typed payload tag. Run-time validation of these
+// tags is what lets the fabric raise type-mismatch exceptions.
+enum class DataType : std::uint8_t { None, Int, Long, Float, Double, Ref };
+
+DataType data_type_for(bytecode::ValueType t) noexcept;
+
+// Sentinels for the serial `toLinearAddress` field (Figure 16): most
+// messages address "the next instruction" or, during needs-up resolution,
+// "the previous instruction".
+inline constexpr std::int32_t kToNext = -1;
+inline constexpr std::int32_t kToPrevious = -2;
+
+// Figure 16 — serial message. `instance_id` tags the
+// Thread-Class-Method-Instance so only the owning method's nodes react.
+struct SerialMessage {
+  Command cmd = Command::HeadToken;
+  std::int32_t to_linear = kToNext;
+  std::int32_t from_linear = -1;
+  std::int32_t instance_id = 0;
+  DataType type = DataType::None;
+  std::int32_t reg = -1;       // REGISTER_TOKEN register number
+  std::int64_t payload = 0;    // data / mesh address / memory order number
+  std::uint8_t side = 0;       // NeedRequest: consumer side
+  std::uint8_t branch_id = 0;  // NeedRequest: path tag at merges
+};
+
+// Mesh (DataFlow) operand transfer. Producer and consumer are identified
+// by their fabric (x, y, p) addresses — flattened to a chain slot index —
+// plus the consumer side the operand lands in.
+struct MeshMessage {
+  std::int32_t from_slot = -1;
+  std::int32_t to_slot = -1;
+  std::int32_t instance_id = 0;
+  std::uint8_t side = 1;
+  DataType type = DataType::None;
+  std::int64_t data = 0;
+};
+
+// Ring transaction kinds (Memory / GPP interface, Figure 19).
+enum class RingService : std::uint8_t {
+  MemoryRead,
+  MemoryWrite,
+  ConstantRead,   // unordered Method Area constant access
+  GppService,     // calls, object services, exceptions
+};
+
+struct RingMessage {
+  RingService service = RingService::MemoryRead;
+  std::int32_t slot = -1;        // requesting fabric slot
+  std::int32_t instance_id = 0;
+  std::int64_t order_tag = 0;    // MEMORY_TOKEN sequence number
+};
+
+}  // namespace javaflow::net

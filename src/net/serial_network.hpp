@@ -1,0 +1,48 @@
+// The forward/reverse ordered Serial Network (paper §6.1, Figure 17).
+//
+// Topologically a chain threading every Instruction Node slot in fabric
+// order. Messages move one chain slot per serial clock; the only routing
+// decision is "next node in the linear sequence" (or previous, on the
+// reverse network), which is what lets serial transfers run several times
+// faster than mesh transfers (Table 15 configurations).
+#pragma once
+
+#include <cstdint>
+
+namespace javaflow::net {
+
+class SerialNetwork {
+ public:
+  explicit SerialNetwork(std::int32_t num_slots) : num_slots_(num_slots) {}
+
+  std::int32_t num_slots() const noexcept { return num_slots_; }
+
+  // Hop count between two chain slots (either direction: the forward and
+  // reverse networks are symmetric).
+  std::int64_t hops(std::int32_t from_slot, std::int32_t to_slot) const {
+    const std::int64_t d = std::int64_t{to_slot} - from_slot;
+    return d >= 0 ? d : -d;
+  }
+
+  // Transit time in serial ticks; the Baseline configuration collapses
+  // the network (hop cost 0 — "all serial traffic is moved before the
+  // next mesh clock", Table 15).
+  std::int64_t transit_ticks(std::int32_t from_slot, std::int32_t to_slot,
+                             bool collapsed) const {
+    return collapsed ? 0 : hops(from_slot, to_slot);
+  }
+
+  void record_message(std::int64_t hop_count) noexcept {
+    ++messages_;
+    total_hops_ += hop_count;
+  }
+  std::uint64_t messages() const noexcept { return messages_; }
+  std::uint64_t total_hops() const noexcept { return total_hops_; }
+
+ private:
+  std::int32_t num_slots_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t total_hops_ = 0;
+};
+
+}  // namespace javaflow::net

@@ -1,0 +1,107 @@
+// Branch outcome generators for method execution (paper §7.3 "Method
+// Execution").
+//
+// The paper did not gather trace data, so each method runs twice under
+// synthetic branch behaviour:
+//   * forward jumps: 50 % taken, alternating per site — BP1 starts with
+//     the first execution taken, BP2 with the first not taken;
+//   * back jumps: 90 % taken — nine taken executions, then a fall-through.
+//
+// A third, trace-driven mode (an enhancement beyond the paper) replays
+// outcomes recorded by the reference interpreter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::sim {
+
+// Classifies each conditional jump of `m`: Backward for latches,
+// LoopExit for forward jumps that exit an enclosing head-test loop
+// (a backward branch below the site targets at-or-above it and the
+// site's target lies beyond that latch), Forward otherwise.
+std::vector<std::uint8_t> classify_branches(const bytecode::Method& m);
+
+// How a conditional jump participates in looping. `Backward` jumps are
+// loop latches (JAVAC's bottom-test form); `LoopExit` marks *forward*
+// jumps that leave a loop whose latch is an unconditional backward goto
+// (the head-test form) — the paper's 90 %-looping rule is about loop trip
+// counts, so both forms get ten iterations per visit.
+enum class BranchKind : std::uint8_t { Forward, Backward, LoopExit };
+
+class BranchPredictor {
+ public:
+  enum class Scenario : std::uint8_t { BP1, BP2, Trace };
+
+  explicit BranchPredictor(Scenario scenario) : scenario_(scenario) {}
+
+  // Outcome for the conditional jump at linear address `site`.
+  bool decide(std::int32_t site, BranchKind kind) {
+    if (scenario_ == Scenario::Trace) {
+      auto it = trace_.find(site);
+      if (it != trace_.end() && !it->second.empty()) {
+        const bool taken = it->second.front();
+        it->second.pop_front();
+        return taken;
+      }
+      // Trace exhausted: leave the loop so execution terminates.
+      return kind == BranchKind::LoopExit;
+    }
+    if (kind == BranchKind::Backward) {
+      const int count = back_count_[site]++;
+      return (count % 10) < 9;  // 9 taken, 10th falls through
+    }
+    if (kind == BranchKind::LoopExit) {
+      const int count = back_count_[site]++;
+      return (count % 10) == 9;  // stay in the loop 9 times, exit 10th
+    }
+    const int count = fwd_count_[site]++;
+    const bool first_taken = scenario_ == Scenario::BP1;
+    return (count % 2 == 0) == first_taken;
+  }
+
+  // Case selection for tableswitch/lookupswitch at `site` among
+  // `num_targets` arms (incl. default, index num_targets-1): round-robin,
+  // the switch-dispatch analogue of the alternating forward predictor.
+  std::int32_t decide_switch(std::int32_t site, std::int32_t num_targets) {
+    if (scenario_ == Scenario::Trace) {
+      auto it = switch_trace_.find(site);
+      if (it != switch_trace_.end() && !it->second.empty()) {
+        const std::int32_t arm = it->second.front();
+        it->second.pop_front();
+        return arm < num_targets ? arm : num_targets - 1;
+      }
+      return num_targets - 1;  // exhausted: take the default arm
+    }
+    return switch_count_[site]++ % num_targets;
+  }
+
+  // Trace mode: append a recorded outcome for a site.
+  void feed_trace(std::int32_t site, bool taken) {
+    trace_[site].push_back(taken);
+  }
+  void feed_switch_trace(std::int32_t site, std::int32_t arm) {
+    switch_trace_[site].push_back(arm);
+  }
+
+  Scenario scenario() const noexcept { return scenario_; }
+  void reset() {
+    fwd_count_.clear();
+    back_count_.clear();
+    switch_count_.clear();
+  }
+
+ private:
+  Scenario scenario_;
+  std::map<std::int32_t, int> fwd_count_;
+  std::map<std::int32_t, int> back_count_;
+  std::map<std::int32_t, int> switch_count_;
+  std::map<std::int32_t, std::deque<bool>> trace_;
+  std::map<std::int32_t, std::deque<std::int32_t>> switch_trace_;
+};
+
+}  // namespace javaflow::sim

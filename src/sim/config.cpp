@@ -1,0 +1,33 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+namespace javaflow::sim {
+
+std::vector<MachineConfig> table15_configs() {
+  using fabric::LayoutKind;
+  auto make = [](const char* name, LayoutKind layout, int serial_per_mesh) {
+    MachineConfig cfg;
+    cfg.name = name;
+    cfg.layout = layout;
+    cfg.serial_per_mesh = serial_per_mesh;
+    return cfg;
+  };
+  return {
+      make("Baseline", LayoutKind::Collapsed, 1),
+      make("Compact10", LayoutKind::Compact, 10),
+      make("Compact4", LayoutKind::Compact, 4),
+      make("Compact2", LayoutKind::Compact, 2),
+      make("Sparse2", LayoutKind::Sparse, 2),
+      make("Hetero2", LayoutKind::Heterogeneous, 2),
+  };
+}
+
+MachineConfig config_by_name(const std::string& name) {
+  for (MachineConfig& c : table15_configs()) {
+    if (c.name == name) return c;
+  }
+  throw std::runtime_error("unknown configuration: " + name);
+}
+
+}  // namespace javaflow::sim

@@ -1,0 +1,671 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <queue>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace javaflow::sim {
+namespace {
+
+using bytecode::Group;
+using bytecode::Instruction;
+using bytecode::Method;
+using bytecode::Op;
+using fabric::DataflowGraph;
+using fabric::Edge;
+using fabric::Fabric;
+using fabric::Placement;
+using net::Command;
+using net::SerialMessage;
+
+bool is_switch(Op op) {
+  return op == Op::tableswitch || op == Op::lookupswitch;
+}
+
+// Nodes that buffer the whole token bundle until they fire (§6.3 Control
+// Flow Operations). Calls are deliberately excluded: they pass all tokens
+// except TAIL while executing.
+bool buffers_tokens(const Instruction& inst) {
+  const Group g = inst.group();
+  return g == Group::ControlFlow || g == Group::Return ||
+         is_switch(inst.op);
+}
+
+bool is_ordered_storage(const Instruction& inst) {
+  const Group g = inst.group();
+  return g == Group::MemRead || g == Group::MemWrite;
+}
+
+// Per-node runtime state (wraps the Figure 13 resources).
+struct NodeRt {
+  Instruction inst;
+  std::int32_t linear = -1;
+  std::int32_t slot = -1;
+  const std::vector<Edge>* consumers = nullptr;
+
+  // dynamic
+  bool head_received = false;
+  bool fired = false;
+  bool executing = false;
+  bool in_service = false;
+  std::int32_t pops_received = 0;
+  std::int32_t reset_count = 0;  // iteration epoch for mesh messages
+
+  bool reg_held = false;        // LocalRead/LocalInc captured its token
+  SerialMessage held_reg{};
+  bool write_absorbed = false;  // LocalWrite consumed the stale token
+  bool kill_next_register = false;
+  bool memory_held = false;     // ordered storage holds MEMORY_TOKEN
+  SerialMessage held_memory{};
+  bool tail_held = false;       // non-control node holding the TAIL
+  SerialMessage held_tail{};
+  bool tail_present = false;    // control node has TAIL in its buffer
+
+  std::vector<SerialMessage> buffered;  // control-node token buffer
+  bool pass_through = false;    // fired forward transfer: route follows
+  std::int32_t route_to = net::kToNext;
+  bool waiting_tail_flush = false;  // back transfer fired, awaiting TAIL
+  std::int32_t decided_target = -1;
+
+  void reset_iteration() {
+    head_received = false;
+    fired = false;
+    executing = false;
+    in_service = false;
+    pops_received = 0;
+    ++reset_count;
+    reg_held = false;
+    write_absorbed = false;
+    kill_next_register = false;
+    memory_held = false;
+    tail_held = false;
+    tail_present = false;
+    buffered.clear();
+    pass_through = false;
+    route_to = net::kToNext;
+    waiting_tail_flush = false;
+    decided_target = -1;
+  }
+};
+
+enum class EvKind : std::uint8_t { Serial, Mesh, ExecDone, ServiceDone };
+
+struct Event {
+  std::int64_t tick = 0;
+  std::int64_t seq = 0;
+  EvKind kind = EvKind::Serial;
+  std::int32_t node = -1;
+  SerialMessage msg{};       // Serial
+  std::uint8_t side = 0;     // Mesh
+  std::int32_t epoch = 0;    // Mesh
+  bool operator>(const Event& o) const {
+    return std::tie(tick, seq) > std::tie(o.tick, o.seq);
+  }
+};
+
+class Run {
+ public:
+  Run(const MachineConfig& cfg, const EngineOptions& opt, const Method& m,
+      const DataflowGraph& graph, BranchPredictor& predictor,
+      const Placement* placement)
+      : external_placement_(placement),
+        cfg_(cfg),
+        opt_(opt),
+        m_(m),
+        graph_(graph),
+        predictor_(predictor),
+        fabric_(cfg.fabric_options()),
+        k_(cfg.serial_per_mesh),
+        hop_(cfg.collapsed() ? 0 : 1),
+        idus_(std::max(cfg.idus_per_node, 1)),
+        branch_kinds_(classify_branches(m)) {}
+
+  // Physical Instruction Node hosting an IDU chain slot (§4.2).
+  std::int32_t phys(std::int32_t slot) const { return slot / idus_; }
+
+  RunMetrics execute() {
+    RunMetrics metrics;
+    metrics.static_size = static_cast<std::int32_t>(m_.code.size());
+    placement_ = external_placement_ != nullptr ? *external_placement_
+                                                : fabric::load_method(fabric_, m_);
+    if (!placement_.fits) return metrics;
+    metrics.fits = true;
+    metrics.max_slot = placement_.max_slot;
+
+    node_exec_busy_.assign(
+        static_cast<std::size_t>(phys(placement_.max_slot) + 1), false);
+    pending_fire_.assign(node_exec_busy_.size(), {});
+    nodes_.resize(m_.code.size());
+    for (std::size_t i = 0; i < m_.code.size(); ++i) {
+      NodeRt& n = nodes_[i];
+      n.inst = m_.code[i];
+      n.linear = static_cast<std::int32_t>(i);
+      n.slot = placement_.slot_of[i];
+      n.consumers = &graph_.consumers_of[i];
+    }
+    distinct_.assign(m_.code.size(), false);
+
+    inject_bundle();
+
+    while (!events_.empty() && !completed_) {
+      Event ev = events_.top();
+      events_.pop();
+      now_ = ev.tick;
+      if (opt_.trace) trace_event(ev);
+      if (now_ > opt_.max_ticks) {
+        metrics.timed_out = true;
+        break;
+      }
+      switch (ev.kind) {
+        case EvKind::Serial: on_serial(ev.node, ev.msg); break;
+        case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.epoch); break;
+        case EvKind::ExecDone: on_exec_done(ev.node); break;
+        case EvKind::ServiceDone: on_service_done(ev.node); break;
+      }
+    }
+
+    flush_exec_accounting();
+    metrics.completed = completed_;
+    metrics.exception = exception_raised_;
+    metrics.ticks = completed_ ? end_tick_ : now_;
+    metrics.mesh_cycles =
+        std::max<std::int64_t>(1, (metrics.ticks + k_ - 1) / k_);
+    metrics.instructions_fired = fired_count_;
+    metrics.distinct_fired = static_cast<std::int32_t>(
+        std::count(distinct_.begin(), distinct_.end(), true));
+    metrics.mesh_messages = mesh_messages_;
+    metrics.serial_messages = serial_messages_;
+    metrics.ticks_exec_1plus = acc_1plus_;
+    metrics.ticks_exec_2plus = acc_2plus_;
+    return metrics;
+  }
+
+ private:
+  void trace_event(const Event& ev) {
+    const char* kind = ev.kind == EvKind::Serial ? "serial"
+                       : ev.kind == EvKind::Mesh ? "mesh"
+                       : ev.kind == EvKind::ExecDone ? "exec" : "svc";
+    std::fprintf(stderr, "t=%lld %s node=%d", (long long)ev.tick, kind,
+                 ev.node);
+    if (ev.kind == EvKind::Serial) {
+      std::fprintf(stderr, " cmd=%s reg=%d",
+                   std::string(net::command_name(ev.msg.cmd)).c_str(),
+                   ev.msg.reg);
+    }
+    if (ev.kind == EvKind::Mesh) {
+      std::fprintf(stderr, " side=%d epoch=%d", ev.side, ev.epoch);
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  // ---- scheduling helpers ----
+  void schedule(Event ev) {
+    ev.seq = seq_++;
+    events_.push(ev);
+  }
+
+  std::int64_t serial_delay(std::int32_t from_node, std::int32_t to_node) {
+    const std::int32_t a =
+        from_node < 0
+            ? -1
+            : phys(nodes_[static_cast<std::size_t>(from_node)].slot);
+    const std::int32_t b =
+        phys(nodes_[static_cast<std::size_t>(to_node)].slot);
+    const std::int64_t hops = a < 0 ? b + 1 : (a < b ? b - a : a - b);
+    return hop_ * std::max<std::int64_t>(hops, 1);
+  }
+
+  void send_serial(std::int32_t from_node, std::int32_t to_node,
+                   SerialMessage msg, std::int64_t extra = 0) {
+    if (to_node < 0 ||
+        static_cast<std::size_t>(to_node) >= nodes_.size()) {
+      return;  // token falls off the chain (e.g. past the bottom)
+    }
+    ++serial_messages_;
+    Event ev;
+    ev.kind = EvKind::Serial;
+    ev.node = to_node;
+    ev.msg = msg;
+    ev.tick = now_ + serial_delay(from_node, to_node) + extra;
+    schedule(ev);
+  }
+
+  void send_mesh(std::int32_t producer) {
+    NodeRt& p = nodes_[static_cast<std::size_t>(producer)];
+    for (const Edge& e : *p.consumers) {
+      if (e.back) continue;  // absent in valid Java (Table 7)
+      NodeRt& c = nodes_[static_cast<std::size_t>(e.consumer)];
+      ++mesh_messages_;
+      Event ev;
+      ev.kind = EvKind::Mesh;
+      ev.node = e.consumer;
+      ev.side = e.side;
+      ev.epoch = c.reset_count;
+      ev.tick = now_ + k_ * fabric_.mesh_cycles(phys(p.slot), phys(c.slot));
+      schedule(ev);
+    }
+  }
+
+  // ---- execution-overlap accounting (Table 26) ----
+  void exec_delta(int delta) {
+    if (active_exec_ >= 1) acc_1plus_ += now_ - last_exec_change_;
+    if (active_exec_ >= 2) acc_2plus_ += now_ - last_exec_change_;
+    last_exec_change_ = now_;
+    active_exec_ += delta;
+  }
+  void flush_exec_accounting() {
+    if (active_exec_ >= 1) acc_1plus_ += now_ - last_exec_change_;
+    if (active_exec_ >= 2) acc_2plus_ += now_ - last_exec_change_;
+    last_exec_change_ = now_;
+  }
+
+  // ---- token bundle ----
+  void inject_bundle() {
+    std::vector<SerialMessage> bundle;
+    bundle.push_back({Command::HeadToken});
+    bundle.push_back({Command::MemoryToken});
+    for (int r = 0; r < m_.max_locals; ++r) {
+      SerialMessage reg{Command::RegisterToken};
+      reg.reg = r;
+      bundle.push_back(reg);
+    }
+    bundle.push_back({Command::TailToken});
+    for (std::size_t i = 0; i < bundle.size(); ++i) {
+      now_ = 0;
+      send_serial(-1, 0, bundle[i],
+                  hop_ == 0 ? 0 : static_cast<std::int64_t>(i));
+    }
+    now_ = 0;
+  }
+
+  // ---- serial handlers ----
+  void forward_token(std::int32_t node, const SerialMessage& msg) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    const std::int32_t to =
+        n.pass_through ? n.route_to : node + 1;
+    send_serial(node, to == net::kToNext ? node + 1 : to, msg);
+  }
+
+  void on_serial(std::int32_t node, const SerialMessage& msg) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    // Control-transfer nodes hold the bundle while unfired AND while a
+    // fired backward transfer awaits its TAIL — those tokens are the
+    // bundle that will replay around the loop (§6.3).
+    const bool hold =
+        buffers_tokens(n.inst) && (!n.fired || n.waiting_tail_flush);
+
+    switch (msg.cmd) {
+      case Command::HeadToken:
+        n.head_received = true;
+        if (hold) {
+          n.buffered.push_back(msg);
+          try_fire(node);
+        } else {
+          try_fire(node);
+          forward_token(node, msg);  // the HEAD runs ahead (§6.3)
+        }
+        return;
+
+      case Command::MemoryToken:
+        if (hold) {
+          n.buffered.push_back(msg);
+          return;
+        }
+        if (is_ordered_storage(n.inst) && !n.fired) {
+          n.memory_held = true;
+          n.held_memory = msg;
+          try_fire(node);
+          return;
+        }
+        forward_token(node, msg);
+        return;
+
+      case Command::RegisterToken: {
+        if (hold) {
+          n.buffered.push_back(msg);
+          return;
+        }
+        const Group g = n.inst.group();
+        const std::int32_t reg = bytecode::local_register(n.inst);
+        if ((g == Group::LocalRead || g == Group::LocalInc) &&
+            reg == msg.reg && !n.fired && !n.reg_held) {
+          n.reg_held = true;
+          n.held_reg = msg;
+          try_fire(node);
+          return;
+        }
+        if (g == Group::LocalWrite && reg == msg.reg) {
+          if (!n.fired) {
+            n.write_absorbed = true;  // the write kills the old value
+          } else if (n.kill_next_register) {
+            n.kill_next_register = false;  // stale token after firing
+          } else {
+            forward_token(node, msg);
+          }
+          return;
+        }
+        forward_token(node, msg);
+        return;
+      }
+
+      case Command::TailToken:
+        if (buffers_tokens(n.inst)) {
+          if (!n.fired) {
+            n.buffered.push_back(msg);
+            n.tail_present = true;
+            try_fire(node);  // returns / backward gotos need the TAIL
+            return;
+          }
+          if (n.waiting_tail_flush) {
+            n.buffered.push_back(msg);
+            flush_up(node);
+            return;
+          }
+          forward_token(node, msg);
+          return;
+        }
+        if (n.fired) {
+          forward_token(node, msg);
+        } else {
+          n.tail_held = true;  // held until this node fires (§6.3)
+          n.held_tail = msg;
+        }
+        return;
+
+      default:
+        forward_token(node, msg);
+        return;
+    }
+  }
+
+  void on_mesh(std::int32_t node, std::uint8_t side, std::int32_t epoch) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    (void)side;
+    if (n.reset_count != epoch) return;  // stale (previous iteration)
+    ++n.pops_received;
+    try_fire(node);
+  }
+
+  // ---- firing ----
+  bool fire_ready(const NodeRt& n) const {
+    if (!n.head_received || n.fired || n.executing || n.in_service) {
+      return false;
+    }
+    const Group g = n.inst.group();
+    switch (g) {
+      case Group::LocalRead:
+      case Group::LocalInc:
+        return n.reg_held;
+      case Group::MemRead:
+      case Group::MemWrite:
+        return n.pops_received >= n.inst.pop && n.memory_held;
+      case Group::Return:
+        return n.pops_received >= n.inst.pop && n.tail_present;
+      case Group::ControlFlow:
+        if ((n.inst.op == Op::goto_ || n.inst.op == Op::goto_w) &&
+            n.inst.target < n.linear) {
+          return n.tail_present;  // backward GoTo fires on TAIL (§6.3)
+        }
+        return n.pops_received >= n.inst.pop;
+      default:
+        return n.pops_received >= n.inst.pop;
+    }
+  }
+
+  void try_fire(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    if (!fire_ready(n)) return;
+    // One Instruction Execution Unit per physical node: with several
+    // IDUs packed into a node (§4.2), firings within a node serialize.
+    const std::size_t pn = static_cast<std::size_t>(phys(n.slot));
+    if (idus_ > 1 && node_exec_busy_[pn]) {
+      pending_fire_[pn].push_back(node);
+      return;
+    }
+    node_exec_busy_[pn] = true;
+    n.executing = true;
+    exec_delta(+1);
+    Event ev;
+    ev.kind = EvKind::ExecDone;
+    ev.node = node;
+    ev.tick = now_ + k_ * bytecode::execution_mesh_cycles(n.inst.group());
+    schedule(ev);
+  }
+
+  void release_execution_unit(std::int32_t node) {
+    const std::size_t pn = static_cast<std::size_t>(
+        phys(nodes_[static_cast<std::size_t>(node)].slot));
+    node_exec_busy_[pn] = false;
+    if (idus_ <= 1) return;
+    auto& pending = pending_fire_[pn];
+    while (!pending.empty()) {
+      const std::int32_t next = pending.front();
+      pending.erase(pending.begin());
+      try_fire(next);
+      if (node_exec_busy_[pn]) break;  // someone grabbed the unit
+    }
+  }
+
+  void mark_fired(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    n.fired = true;
+    ++fired_count_;
+    distinct_[static_cast<std::size_t>(node)] = true;
+  }
+
+  // Releases everything a non-control node owes downstream after firing.
+  void post_fire_releases(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    const Group g = n.inst.group();
+    if (g == Group::LocalRead || g == Group::LocalInc) {
+      if (n.reg_held) {
+        n.reg_held = false;
+        forward_token(node, n.held_reg);  // register value flows on
+      }
+    }
+    if (g == Group::LocalWrite) {
+      SerialMessage reg{Command::RegisterToken};
+      reg.reg = bytecode::local_register(n.inst);
+      forward_token(node, reg);  // freshly written register value
+      if (!n.write_absorbed) n.kill_next_register = true;
+    }
+    if (n.memory_held) {
+      n.memory_held = false;
+      forward_token(node, n.held_memory);  // memory order established
+    }
+    if (n.tail_held) {
+      n.tail_held = false;
+      forward_token(node, n.held_tail);
+    }
+  }
+
+  void on_exec_done(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    n.executing = false;
+    exec_delta(-1);
+    release_execution_unit(node);
+    const Group g = n.inst.group();
+
+    if (node == opt_.inject_exception_at &&
+        ++exception_fire_count_ >= opt_.inject_exception_fire &&
+        !exception_raised_) {
+      // §6.3 Exceptions: the node halts, an EXCEPTION_TOKEN reaches the
+      // GPP over the ring, and the GPP terminates the method.
+      exception_raised_ = true;
+      fabric_.ring().record_request(net::RingService::GppService);
+      completed_ = true;
+      end_tick_ = now_ + k_ * fabric_.ring().service_mesh_cycles(
+                              net::RingService::GppService);
+      return;
+    }
+
+    if (g == Group::ControlFlow || is_switch(n.inst.op)) {
+      resolve_control(node);
+      return;
+    }
+    if (g == Group::Return) {
+      mark_fired(node);
+      completed_ = true;
+      end_tick_ = now_;
+      return;
+    }
+    if (g == Group::Call || (g == Group::Special && !is_switch(n.inst.op))) {
+      n.in_service = true;
+      fabric_.ring().record_request(net::RingService::GppService);
+      Event ev;
+      ev.kind = EvKind::ServiceDone;
+      ev.node = node;
+      ev.tick = now_ + k_ * fabric_.ring().service_mesh_cycles(
+                                net::RingService::GppService);
+      schedule(ev);
+      return;
+    }
+    if (g == Group::MemRead) {
+      n.in_service = true;
+      fabric_.ring().record_request(net::RingService::MemoryRead);
+      if (n.memory_held) {
+        n.memory_held = false;
+        forward_token(node, n.held_memory);
+      }
+      Event ev;
+      ev.kind = EvKind::ServiceDone;
+      ev.node = node;
+      ev.tick = now_ + k_ * fabric_.ring().service_mesh_cycles(
+                                net::RingService::MemoryRead);
+      schedule(ev);
+      return;
+    }
+    if (g == Group::MemWrite) {
+      // Posted write: the node is fired once the request is dispatched.
+      fabric_.ring().record_request(net::RingService::MemoryWrite);
+      mark_fired(node);
+      post_fire_releases(node);
+      return;
+    }
+    // Arithmetic / moves / locals / constants: produce and release.
+    mark_fired(node);
+    send_mesh(node);
+    post_fire_releases(node);
+  }
+
+  void on_service_done(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    n.in_service = false;
+    mark_fired(node);
+    send_mesh(node);  // read data / call result to consumers
+    post_fire_releases(node);
+  }
+
+  // Control-transfer decision and token routing (§6.3).
+  void resolve_control(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    std::int32_t target;
+    if (n.inst.op == Op::goto_ || n.inst.op == Op::goto_w) {
+      target = n.inst.target;
+    } else if (is_switch(n.inst.op)) {
+      const bytecode::SwitchTable& table =
+          m_.switches[static_cast<std::size_t>(n.inst.operand)];
+      const auto arms =
+          static_cast<std::int32_t>(table.targets.size()) + 1;
+      const std::int32_t pick = predictor_.decide_switch(n.linear, arms);
+      target = pick < static_cast<std::int32_t>(table.targets.size())
+                   ? table.targets[static_cast<std::size_t>(pick)]
+                   : table.default_target;
+    } else {
+      const auto kind = static_cast<BranchKind>(
+          branch_kinds_[static_cast<std::size_t>(n.linear)]);
+      const bool taken = predictor_.decide(n.linear, kind);
+      target = taken ? n.inst.target : n.linear + 1;
+    }
+
+    mark_fired(node);
+    if (target > n.linear) {
+      // Forward transfer: flush the buffer toward the target; later
+      // tokens follow the same route until the iteration resets.
+      n.pass_through = true;
+      n.route_to = target;
+      std::int64_t idx = 0;
+      for (const SerialMessage& tok : n.buffered) {
+        send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
+      }
+      n.buffered.clear();
+      return;
+    }
+    // Backward transfer: hold everything until the TAIL arrives (§6.3).
+    n.waiting_tail_flush = true;
+    n.decided_target = target;
+    if (n.tail_present) flush_up(node);
+  }
+
+  // Back jump with TAIL in hand: replay the bundle to the loop head via
+  // the reverse network, resetting every node it passes.
+  void flush_up(std::int32_t node) {
+    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    const std::int32_t target = n.decided_target;
+    std::vector<SerialMessage> bundle = std::move(n.buffered);
+    n.buffered.clear();
+    for (std::int32_t i = target; i <= node; ++i) {
+      nodes_[static_cast<std::size_t>(i)].reset_iteration();
+    }
+    std::int64_t idx = 0;
+    for (const SerialMessage& tok : bundle) {
+      send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
+    }
+  }
+
+  const Placement* external_placement_ = nullptr;
+  const MachineConfig& cfg_;
+  const EngineOptions& opt_;
+  const Method& m_;
+  const DataflowGraph& graph_;
+  BranchPredictor& predictor_;
+  Fabric fabric_;
+  const std::int64_t k_;
+  const std::int64_t hop_;
+  const std::int32_t idus_;
+  std::vector<std::uint8_t> branch_kinds_;
+  std::vector<bool> node_exec_busy_;
+  std::vector<std::vector<std::int32_t>> pending_fire_;
+
+  Placement placement_;
+  std::vector<NodeRt> nodes_;
+  std::vector<bool> distinct_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::int64_t seq_ = 0;
+  std::int64_t now_ = 0;
+  bool completed_ = false;
+  bool exception_raised_ = false;
+  std::int32_t exception_fire_count_ = 0;
+  std::int64_t end_tick_ = 0;
+  std::int64_t fired_count_ = 0;
+  std::int64_t mesh_messages_ = 0;
+  std::int64_t serial_messages_ = 0;
+  int active_exec_ = 0;
+  std::int64_t last_exec_change_ = 0;
+  std::int64_t acc_1plus_ = 0;
+  std::int64_t acc_2plus_ = 0;
+};
+
+}  // namespace
+
+Engine::Engine(MachineConfig config, EngineOptions options)
+    : config_(std::move(config)), options_(options) {}
+
+RunMetrics Engine::run(const Method& m, const DataflowGraph& graph,
+                       BranchPredictor& predictor) {
+  Run run(config_, options_, m, graph, predictor, nullptr);
+  return run.execute();
+}
+
+RunMetrics Engine::run(const Method& m, const DataflowGraph& graph,
+                       const fabric::Placement& placement,
+                       BranchPredictor& predictor) {
+  Run run(config_, options_, m, graph, predictor, &placement);
+  return run.execute();
+}
+
+}  // namespace javaflow::sim

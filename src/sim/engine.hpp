@@ -1,0 +1,103 @@
+// Execution engine: simulates a loaded, resolved method running on the
+// DataFlow fabric under a machine configuration (paper §6.3 + §7.3).
+//
+// The time base is serial ticks; one mesh cycle is `serial_per_mesh`
+// ticks (Table 15). The engine is event-driven: serial token deliveries,
+// mesh operand arrivals, execution completions (Table 17 costs) and
+// memory/GPP service completions (Figure 25) are the event kinds. The
+// Baseline configuration collapses serial transit to zero ticks and all
+// mesh distances to one cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "bytecode/method.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/loader.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/config.hpp"
+
+namespace javaflow::sim {
+
+struct RunMetrics {
+  bool fits = false;       // method placed within the node budget
+  bool completed = false;  // reached a Return (or aborted via exception)
+  bool timed_out = false;  // exceeded the tick budget (excluded, §7.3)
+  bool exception = false;  // EXCEPTION_TOKEN raised; GPP terminated the
+                           // method (§6.3 "Exceptions")
+
+  std::int64_t ticks = 0;          // serial ticks at completion
+  std::int64_t mesh_cycles = 0;    // ticks / serial_per_mesh, rounded up
+  std::int64_t instructions_fired = 0;  // firings (re-fires in loops count)
+  std::int32_t distinct_fired = 0;
+  std::int32_t static_size = 0;
+  std::int32_t max_slot = -1;      // highest fabric slot used (Table 19)
+  std::int64_t mesh_messages = 0;
+  std::int64_t serial_messages = 0;
+
+  // Tick spans with >=1 / >=2 instructions in execution (Table 26).
+  std::int64_t ticks_exec_1plus = 0;
+  std::int64_t ticks_exec_2plus = 0;
+
+  double ipc() const {
+    return mesh_cycles > 0
+               ? static_cast<double>(instructions_fired) /
+                     static_cast<double>(mesh_cycles)
+               : 0.0;
+  }
+  double coverage() const {
+    return static_size > 0 ? static_cast<double>(distinct_fired) /
+                                 static_cast<double>(static_size)
+                           : 0.0;
+  }
+  double parallel_2plus() const {
+    return ticks > 0 ? static_cast<double>(ticks_exec_2plus) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+  }
+  double nodes_per_instruction() const {
+    return static_size > 0 ? static_cast<double>(max_slot + 1) /
+                                 static_cast<double>(static_size)
+                           : 0.0;
+  }
+};
+
+struct EngineOptions {
+  std::int64_t max_ticks = 4'000'000;
+  bool trace = false;  // dump every event to stderr (debugging aid)
+  // Failure injection: the node at this linear address raises an
+  // arithmetic exception on its `inject_exception_fire`-th firing
+  // (1-based). The node halts, an EXCEPTION_TOKEN travels to the GPP,
+  // and the GPP terminates the method (§6.3 "Exceptions").
+  std::int32_t inject_exception_at = -1;
+  std::int32_t inject_exception_fire = 1;
+};
+
+class Engine {
+ public:
+  explicit Engine(MachineConfig config, EngineOptions options = {});
+
+  // Runs one method to completion (or timeout). The dataflow graph must
+  // have been built for `m` (it is configuration-independent, so callers
+  // build it once and reuse it across configurations and predictors).
+  RunMetrics run(const bytecode::Method& m,
+                 const fabric::DataflowGraph& graph,
+                 BranchPredictor& predictor);
+
+  // Run with an externally computed placement — used when several
+  // methods are co-resident and the fabric manager owns slot assignment
+  // (§6.2 "Management and Cleanup").
+  RunMetrics run(const bytecode::Method& m,
+                 const fabric::DataflowGraph& graph,
+                 const fabric::Placement& placement,
+                 BranchPredictor& predictor);
+
+  const MachineConfig& config() const noexcept { return config_; }
+
+ private:
+  MachineConfig config_;
+  EngineOptions options_;
+};
+
+}  // namespace javaflow::sim

@@ -1,0 +1,83 @@
+#include "workloads/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "workloads/generator.hpp"
+
+namespace javaflow::workloads {
+
+Suite make_suite() {
+  Suite s;
+  for (auto make : {make_compress_benchmarks, make_crypto_benchmarks,
+                    make_scimark_benchmarks, make_mpegaudio_benchmarks,
+                    make_jvm98_benchmarks}) {
+    for (Benchmark& b : make(s.program)) {
+      s.benchmarks.push_back(std::move(b));
+    }
+  }
+  return s;
+}
+
+Corpus make_corpus(const CorpusOptions& options) {
+  Corpus c;
+  Suite suite = make_suite();
+  c.program = std::move(suite.program);
+  c.benchmarks = std::move(suite.benchmarks);
+  c.kernel_methods = c.program.methods.size();
+
+  // Benchmarks the generated tail is attributed to, round-robin.
+  std::vector<std::string> tags;
+  for (const Benchmark& b : c.benchmarks) tags.push_back(b.name);
+
+  std::mt19937_64 rng(options.seed);
+  // Log-normal around the paper's Table 9 shape: median 29 => mu = ln 29.
+  std::lognormal_distribution<double> size_dist(std::log(25.0), 1.25);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Generated leaf helpers that later methods can call (the Call-group
+  // population of a real corpus; §6.3 services them at the GPP).
+  std::vector<std::string> callables;
+  for (int h = 0; h < 8 && options.total_methods > 0; ++h) {
+    GeneratorOptions gopt;
+    gopt.target_size = 8 + static_cast<int>(rng() % 10);
+    const std::string name =
+        "synthetic.lib.helper" + std::to_string(h) + "(IIADFJ)I";
+    c.program.methods.push_back(generate_method(
+        c.program, name, tags[static_cast<std::size_t>(h) % tags.size()],
+        options.seed + 31ULL * static_cast<std::uint64_t>(h + 1), gopt));
+    callables.push_back(name);
+  }
+
+  int idx = 0;
+  while (c.program.methods.size() <
+         static_cast<std::size_t>(options.total_methods)) {
+    int target;
+    const double r = uni(rng);
+    if (r < 0.42) {
+      // Small-method slice (< 10 instructions — excluded by Filter 1).
+      target = 3 + static_cast<int>(rng() % 6);
+    } else if (r < 0.995) {
+      target = static_cast<int>(size_dist(rng));
+      target = std::clamp(target, 10, 980);
+    } else {
+      // A few oversized methods (> 1000 — excluded by Filter 1).
+      target = 1050 + static_cast<int>(rng() % 400);
+    }
+    const std::string& tag = tags[static_cast<std::size_t>(idx) %
+                                  tags.size()];
+    GeneratorOptions gopt;
+    gopt.target_size = target;
+    gopt.callables = callables;
+    const std::string name = "synthetic." + tag + ".m" +
+                             std::to_string(idx) + "(IIADFJ)I";
+    c.program.methods.push_back(
+        generate_method(c.program, name, tag, options.seed + 7919ULL *
+                        static_cast<std::uint64_t>(idx + 1), gopt));
+    ++idx;
+  }
+  return c;
+}
+
+}  // namespace javaflow::workloads

@@ -1,0 +1,30 @@
+// Corpus assembly — kernels + generated tail.
+//
+// The paper simulates 1605 methods ("Filter All", Table 16). Our corpus
+// combines every hand-written kernel with generated methods whose size
+// distribution matches the paper's Table 9 statistics (median ≈ 29,
+// mean ≈ 56, long tail past 900, a slice below 10 and a few above 1000 so
+// the three filters select distinct populations).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workloads.hpp"
+
+namespace javaflow::workloads {
+
+struct CorpusOptions {
+  std::uint64_t seed = 20141215;  // the dissertation's month
+  int total_methods = 1605;       // Table 16 "Filter All"
+};
+
+struct Corpus {
+  bytecode::Program program;          // all methods, kernels first
+  std::vector<Benchmark> benchmarks;  // runnable kernel drivers
+  std::size_t kernel_methods = 0;     // methods[0..kernel_methods) are
+                                      // hand-written kernels
+};
+
+Corpus make_corpus(const CorpusOptions& options = {});
+
+}  // namespace javaflow::workloads

@@ -1,0 +1,484 @@
+#include "workloads/generator.hpp"
+
+#include <random>
+#include <vector>
+
+#include "bytecode/assembler.hpp"
+
+namespace javaflow::workloads {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+// The generator's working set of typed local registers. All generated
+// methods share the same signature:
+//   (int a, int b, ref arr, double x, float f, long l) -> int
+// which gives every statement kind a register of the right type to read.
+struct Locals {
+  std::vector<int> ints{0, 1};     // grown with extra scratch locals
+  std::vector<int> refs{2};
+  std::vector<int> doubles{3};
+  std::vector<int> floats{4};
+  std::vector<int> longs{5};
+};
+
+class Generator {
+ public:
+  Generator(Program& program, const std::string& name,
+            const std::string& benchmark, std::uint64_t seed,
+            const GeneratorOptions& options)
+      : rng_(seed),
+        options_(options),
+        a_(program, name, benchmark) {
+    // Shared Method-Area state: generated methods read/write static
+    // fields like real benchmark code does (Figure 10's Class data).
+    if (program.classes.find("synthetic.Globals") == program.classes.end()) {
+      program.classes["synthetic.Globals"] = bytecode::ClassDef{
+          "synthetic.Globals",
+          {},
+          {{"g0", ValueType::Int},
+           {"g1", ValueType::Int},
+           {"g2", ValueType::Int},
+           {"d0", ValueType::Double},
+           {"f0", ValueType::Float}}};
+    }
+    a_.args({ValueType::Int, ValueType::Int, ValueType::Ref,
+             ValueType::Double, ValueType::Float, ValueType::Long})
+        .returns(ValueType::Int);
+    // A few scratch registers per type.
+    int next = 6;
+    for (int k = 0; k < 3; ++k) locals_.ints.push_back(next++);
+    locals_.doubles.push_back(next++);
+    locals_.floats.push_back(next++);
+    a_.locals(static_cast<std::uint16_t>(next));
+  }
+
+  bytecode::Method run() {
+    if (options_.target_size < 10) {
+      // Genuinely tiny accessor-style methods (the sub-10 slice that the
+      // paper's Filter 1 excludes as not worth an Anchor Node, §7.3).
+      while (a_.position() < options_.target_size - 2) {
+        switch (rnd(3)) {
+          case 0: a_.iinc(pick(locals_.ints), 1); break;
+          case 1:
+            a_.iload(pick(locals_.ints));
+            a_.istore(pick(locals_.ints));
+            break;
+          default:
+            a_.iconst(rnd(64));
+            a_.istore(pick(locals_.ints));
+            break;
+        }
+      }
+      a_.iload(pick(locals_.ints));
+      a_.op(Op::ireturn);
+      return a_.build();
+    }
+    while (a_.position() < options_.target_size) {
+      emit_statement(0);
+    }
+    // Epilogue: return an int expression.
+    a_.iload(pick(locals_.ints));
+    a_.op(Op::ireturn);
+    return a_.build();
+  }
+
+ private:
+  int rnd(int n) {
+    return static_cast<int>(rng_() % static_cast<std::uint32_t>(n));
+  }
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+  int pick(const std::vector<int>& v) {
+    return v[static_cast<std::size_t>(rnd(static_cast<int>(v.size())))];
+  }
+  const char* int_global() {
+    static constexpr const char* kNames[] = {"g0", "g1", "g2"};
+    return kNames[static_cast<std::size_t>(rnd(3))];
+  }
+
+  // Pushes an int expression of the given depth onto the stack.
+  void emit_int_expr(int depth) {
+    if (depth <= 0) {
+      switch (rnd(3)) {
+        case 0: a_.iload(pick(locals_.ints)); break;
+        case 1: a_.iconst(rnd(200) - 100); break;
+        default: a_.iload(pick(locals_.ints)); break;
+      }
+      return;
+    }
+    switch (rnd(8)) {
+      case 0:
+        emit_int_expr(depth - 1);
+        emit_int_expr(depth - 1);
+        a_.op(Op::iadd);
+        break;
+      case 1:
+        emit_int_expr(depth - 1);
+        emit_int_expr(depth - 1);
+        a_.op(Op::isub);
+        break;
+      case 2:
+        emit_int_expr(depth - 1);
+        emit_int_expr(depth - 1);
+        a_.op(Op::imul);
+        break;
+      case 3:
+        emit_int_expr(depth - 1);
+        emit_int_expr(depth - 1);
+        a_.op(Op::iand);
+        break;
+      case 4:
+        emit_int_expr(depth - 1);
+        emit_int_expr(depth - 1);
+        a_.op(Op::ixor);
+        break;
+      case 5:
+        emit_int_expr(depth - 1);
+        a_.iconst(1 + rnd(8));
+        a_.op(rnd(2) != 0 ? Op::ishl : Op::ishr);
+        break;
+      case 6:
+        // array element (ordered storage read)
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.op(Op::iaload);
+        break;
+      default:
+        emit_int_expr(depth - 1);
+        a_.op(Op::ineg);
+        break;
+    }
+  }
+
+  void emit_double_expr(int depth) {
+    if (depth <= 0) {
+      if (chance(0.3)) {
+        a_.dconst(0.25 * (1 + rnd(16)));
+      } else {
+        a_.dload(pick(locals_.doubles));
+      }
+      return;
+    }
+    emit_double_expr(depth - 1);
+    emit_double_expr(depth - 1);
+    switch (rnd(4)) {
+      case 0: a_.op(Op::dadd); break;
+      case 1: a_.op(Op::dsub); break;
+      case 2: a_.op(Op::dmul); break;
+      default: a_.op(Op::ddiv); break;
+    }
+  }
+
+  void emit_float_expr(int depth) {
+    if (depth <= 0) {
+      if (chance(0.3)) {
+        a_.fconst(rnd(3));
+      } else {
+        a_.fload(pick(locals_.floats));
+      }
+      return;
+    }
+    emit_float_expr(depth - 1);
+    emit_float_expr(depth - 1);
+    switch (rnd(3)) {
+      case 0: a_.op(Op::fadd); break;
+      case 1: a_.op(Op::fsub); break;
+      default: a_.op(Op::fmul); break;
+    }
+  }
+
+  // A call statement: push the standard six arguments, invoke a helper,
+  // store the result (the JAVAC calling pattern: args via the stack).
+  void emit_call() {
+    const std::string& callee = options_.callables[static_cast<std::size_t>(
+        rnd(static_cast<int>(options_.callables.size())))];
+    a_.iload(pick(locals_.ints));
+    a_.iload(pick(locals_.ints));
+    a_.aload(pick(locals_.refs));
+    a_.dload(pick(locals_.doubles));
+    a_.fload(pick(locals_.floats));
+    a_.lload(pick(locals_.longs));
+    a_.invokestatic(callee, 6, ValueType::Int);
+    a_.istore(pick(locals_.ints));
+  }
+
+  // Emits a stack-neutral statement (possibly a nested construct). Near
+  // the size budget only simple statements are emitted so small targets
+  // stay small (the corpus needs a genuine sub-10-instruction slice).
+  void emit_statement(int depth) {
+    if (a_.position() + 14 > options_.target_size) {
+      emit_simple();
+      return;
+    }
+    const double r = std::uniform_real_distribution<double>(0, 1)(rng_);
+    if (!options_.callables.empty() &&
+        r >= 1.0 - options_.call_weight) {
+      emit_call();
+      return;
+    }
+    if (depth < options_.max_block_depth && r < options_.loop_weight) {
+      emit_loop(depth);
+      return;
+    }
+    if (depth < options_.max_block_depth &&
+        r < options_.loop_weight + options_.if_weight) {
+      emit_if(depth);
+      return;
+    }
+    if (r < options_.loop_weight + options_.if_weight +
+                options_.merge_weight) {
+      emit_merge();
+      return;
+    }
+    emit_simple();
+  }
+
+  // Statement-kind selector weighted toward the Table 6 conclusion mix
+  // (60 % arith, 10 % float, 10 % control, 20 % storage); the control
+  // share comes from the loop/if constructs in emit_statement.
+  int weighted_case() {
+    static constexpr int kWeighted[] = {
+        0, 1, 2, 3, 3, 4, 4, 5, 6, 7, 8, 9, 10, 11,
+        12, 12, 12, 13, 13, 14, 14, 15, 15,
+        16, 16, 16, 16, 17, 17, 17, 18, 18, 18, 18, 19, 19, 19,
+    };
+    return kWeighted[static_cast<std::size_t>(
+        rnd(static_cast<int>(std::size(kWeighted))))];
+  }
+
+  void emit_simple() {
+    switch (weighted_case()) {
+      case 12: {  // double array read (float + storage)
+        emit_double_expr(0);
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.op(Op::daload);
+        a_.op(Op::dmul);
+        a_.dstore(pick(locals_.doubles));
+        break;
+      }
+      case 13: {  // double array write (float + storage)
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        emit_double_expr(1);
+        a_.op(Op::dastore);
+        break;
+      }
+      case 14: {  // float array read-modify-write
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.op(Op::faload);
+        emit_float_expr(0);
+        a_.op(Op::fmul);
+        a_.op(Op::fastore);
+        break;
+      }
+      case 15: {  // int array element exchange (two storage ops)
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.op(Op::iaload);
+        emit_int_expr(0);
+        a_.op(Op::iadd);
+        a_.op(Op::iastore);
+        break;
+      }
+      case 16: {  // static field read (Method Area access)
+        a_.getstatic("synthetic.Globals", int_global(), ValueType::Int);
+        a_.istore(pick(locals_.ints));
+        break;
+      }
+      case 17: {  // static field accumulate (read + write)
+        a_.getstatic("synthetic.Globals", int_global(), ValueType::Int);
+        emit_int_expr(0);
+        a_.op(Op::iadd);
+        a_.putstatic("synthetic.Globals", int_global(), ValueType::Int);
+        break;
+      }
+      case 18: {  // double static field update (float + storage)
+        a_.getstatic("synthetic.Globals", "d0", ValueType::Double);
+        emit_double_expr(0);
+        a_.op(Op::dadd);
+        a_.putstatic("synthetic.Globals", "d0", ValueType::Double);
+        break;
+      }
+      case 19: {  // float static read into register
+        a_.getstatic("synthetic.Globals", "f0", ValueType::Float);
+        emit_float_expr(0);
+        a_.op(Op::fmul);
+        a_.fstore(pick(locals_.floats));
+        break;
+      }
+      case 0:
+      case 1:
+      case 2: {  // int compute -> store
+        emit_int_expr(1 + rnd(2));
+        a_.istore(pick(locals_.ints));
+        break;
+      }
+      case 3: {  // double compute -> store
+        emit_double_expr(1);
+        a_.dstore(pick(locals_.doubles));
+        break;
+      }
+      case 4: {  // float compute -> store
+        emit_float_expr(1);
+        a_.fstore(pick(locals_.floats));
+        break;
+      }
+      case 5: {  // conversion chain
+        if (chance(0.5)) {
+          a_.iload(pick(locals_.ints));
+          a_.op(Op::i2d);
+          emit_double_expr(0);
+          a_.op(Op::dmul);
+          a_.dstore(pick(locals_.doubles));
+        } else {
+          a_.dload(pick(locals_.doubles));
+          a_.op(Op::d2i);
+          a_.istore(pick(locals_.ints));
+        }
+        break;
+      }
+      case 6: {  // array write (ordered storage)
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        emit_int_expr(1);
+        a_.op(Op::iastore);
+        break;
+      }
+      case 7: {  // array read -> store
+        a_.aload(pick(locals_.refs));
+        emit_int_expr(0);
+        a_.op(Op::iaload);
+        a_.istore(pick(locals_.ints));
+        break;
+      }
+      case 8:  // register increment
+        a_.iinc(pick(locals_.ints), rnd(5) - 2);
+        break;
+      case 9: {  // long arithmetic
+        a_.lload(pick(locals_.longs));
+        a_.iload(pick(locals_.ints));
+        a_.op(Op::i2l);
+        a_.op(rnd(2) != 0 ? Op::ladd : Op::lxor);
+        a_.lstore(pick(locals_.longs));
+        break;
+      }
+      case 10: {  // stack moves (dup/swap family)
+        emit_int_expr(0);
+        emit_int_expr(0);
+        if (chance(0.5)) {
+          a_.op(Op::swap);
+          a_.op(Op::isub);
+          a_.istore(pick(locals_.ints));
+        } else {
+          a_.op(Op::iadd);
+          a_.op(Op::dup);
+          a_.istore(pick(locals_.ints));
+          a_.istore(pick(locals_.ints));
+        }
+        break;
+      }
+      default: {  // long constant load (ldc2_w, unordered storage)
+        a_.lconst(0x123456789LL + rnd(64));
+        a_.lload(pick(locals_.longs));
+        a_.op(Op::ladd);
+        a_.lstore(pick(locals_.longs));
+        break;
+      }
+    }
+  }
+
+  void emit_if(int depth) {
+    auto els = a_.new_label(), join = a_.new_label();
+    // condition
+    if (chance(0.5)) {
+      a_.iload(pick(locals_.ints));
+      switch (rnd(4)) {
+        case 0: a_.ifle(els); break;
+        case 1: a_.ifge(els); break;
+        case 2: a_.ifne(els); break;
+        default: a_.ifeq(els); break;
+      }
+    } else {
+      a_.iload(pick(locals_.ints));
+      a_.iload(pick(locals_.ints));
+      switch (rnd(4)) {
+        case 0: a_.if_icmplt(els); break;
+        case 1: a_.if_icmpge(els); break;
+        case 2: a_.if_icmpeq(els); break;
+        default: a_.if_icmpgt(els); break;
+      }
+    }
+    const int then_len = 1 + rnd(3);
+    for (int k = 0; k < then_len; ++k) emit_statement(depth + 1);
+    if (chance(0.6)) {
+      a_.goto_(join);
+      a_.bind(els);
+      const int else_len = 1 + rnd(2);
+      for (int k = 0; k < else_len; ++k) emit_statement(depth + 1);
+      a_.bind(join);
+    } else {
+      a_.bind(els);
+    }
+  }
+
+  void emit_loop(int depth) {
+    // JAVAC's while-loop shape: forward goto to a bottom test with a
+    // *conditional back jump* — the structure behind the paper's "back
+    // jumps taken 90 %" execution model (§7.3 Method Execution).
+    //   i = 0; goto test; body: ...; iinc i; test: if (i < bound) body
+    const int counter = pick(locals_.ints);
+    auto body = a_.new_label(), test = a_.new_label();
+    a_.iconst(0).istore(counter);
+    a_.goto_(test);
+    a_.bind(body);
+    const int body_len = 1 + rnd(3);
+    for (int k = 0; k < body_len; ++k) emit_statement(depth + 1);
+    a_.iinc(counter, 1);
+    a_.bind(test);
+    a_.iload(counter);
+    a_.iconst(2 + rnd(14));
+    a_.if_icmplt(body);
+  }
+
+  // Ternary-style construct producing a forward DataFlow merge: both arms
+  // push one value that a single downstream consumer pops (Table 12).
+  void emit_merge() {
+    auto els = a_.new_label(), join = a_.new_label();
+    a_.iload(pick(locals_.ints));
+    a_.ifle(els);
+    emit_int_expr(1);
+    a_.goto_(join);
+    a_.bind(els);
+    emit_int_expr(1);
+    a_.bind(join);
+    a_.istore(pick(locals_.ints));
+  }
+
+  std::mt19937_64 rng_;
+  GeneratorOptions options_;
+  Assembler a_;
+  Locals locals_;
+};
+
+}  // namespace
+
+bytecode::Method generate_method(Program& program, const std::string& name,
+                                 const std::string& benchmark,
+                                 std::uint64_t seed,
+                                 const GeneratorOptions& options) {
+  Generator g(program, name, benchmark, seed, options);
+  return g.run();
+}
+
+}  // namespace javaflow::workloads

@@ -1,0 +1,45 @@
+// Seeded random generator of verifier-valid ByteCode methods.
+//
+// The paper's population is ~1600 methods drawn from the SPEC class files
+// plus their harnesses; our hand-written kernels cover the hot methods,
+// and this generator supplies the long tail with the same structural
+// discipline (stack empty at block boundaries, registers for loop-carried
+// values) and a static mix steered toward the Table 6 conclusion row
+// (60 % arith, 10 % float, 10 % control, 20 % storage).
+//
+// Generated methods are structurally analyzable and executable by the
+// machine's predictor-driven simulation (which never interprets data),
+// but are not run under the reference interpreter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace javaflow::workloads {
+
+struct GeneratorOptions {
+  int target_size = 30;      // approximate linear instruction count
+  int max_block_depth = 3;   // nesting of if/loop constructs
+  double loop_weight = 0.16;
+  double if_weight = 0.22;
+  double merge_weight = 0.05;  // ternary-style forward dataflow merges
+  // Callable helper methods (qualified names with the generator's
+  // standard (IIADFJ)I signature); when non-empty, statements may emit
+  // invokestatic sites, giving the corpus the Call-group population real
+  // benchmark code has (GPP-serviced at execution, §6.3).
+  std::vector<std::string> callables;
+  double call_weight = 0.06;
+};
+
+// Generates one method. Deterministic in (seed, options). The method has
+// been verified; throws only on internal generator bugs.
+bytecode::Method generate_method(bytecode::Program& program,
+                                 const std::string& name,
+                                 const std::string& benchmark,
+                                 std::uint64_t seed,
+                                 const GeneratorOptions& options);
+
+}  // namespace javaflow::workloads

@@ -1,0 +1,593 @@
+// LZW compress/decompress kernels — analogues of the SPEC compress
+// benchmark (Unix compress derivative). The same kernel builder is
+// instantiated twice under different class prefixes for the SpecJvm2008
+// "compress" and SpecJvm98 "_201_compress" analogues, mirroring the two
+// closely-related SPEC programs (paper Tables 3-4 list both).
+//
+// Hot methods reproduced: Compressor.compress, Compressor.output,
+// Decompressor.decompress, CRC32.update, Input_Buffer-style getbyte.
+#include <stdexcept>
+#include <string>
+
+#include "bytecode/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace javaflow::workloads {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::ClassDef;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+using jvm::Interpreter;
+using jvm::Ref;
+using jvm::Value;
+
+constexpr int kHashSize = 8192;
+constexpr int kHashMask = kHashSize - 1;
+constexpr int kMaxCodes = 4096;
+constexpr int kCodeBits = 12;
+
+struct Names {
+  std::string comp;    // Compressor class
+  std::string decomp;  // Decompressor class
+  std::string crc;     // CRC32 class
+  std::string bm;      // benchmark tag
+};
+
+void build_compressor(Program& p, const Names& n) {
+  p.classes[n.comp] = ClassDef{
+      n.comp,
+      {{"inbuf", ValueType::Ref},
+       {"inpos", ValueType::Int},
+       {"outbuf", ValueType::Ref},
+       {"outcnt", ValueType::Int},
+       {"bitbuf", ValueType::Int},
+       {"bitcnt", ValueType::Int},
+       {"htab", ValueType::Ref},
+       {"codetab", ValueType::Ref},
+       {"free_ent", ValueType::Int}},
+      {}};
+
+  {
+    // void init(byte[] input): allocate tables, reset state.
+    Assembler a(p, n.comp + ".init(A)V", n.bm);
+    a.instance().args({ValueType::Ref, ValueType::Ref})
+        .returns(ValueType::Void);
+    const int kThis = 0, kIn = 1, kK = 2;
+    a.aload(kThis).aload(kIn).putfield(n.comp, "inbuf", ValueType::Ref);
+    a.aload(kThis).iconst(0).putfield(n.comp, "inpos", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kIn).op(Op::arraylength).iconst(2).op(Op::imul).iconst(64)
+        .op(Op::iadd);
+    a.newarray(ValueType::Int);
+    a.putfield(n.comp, "outbuf", ValueType::Ref);
+    a.aload(kThis).iconst(0).putfield(n.comp, "outcnt", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.comp, "bitbuf", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.comp, "bitcnt", ValueType::Int);
+    a.aload(kThis).iconst(kHashSize).newarray(ValueType::Int)
+        .putfield(n.comp, "htab", ValueType::Ref);
+    a.aload(kThis).iconst(kHashSize).newarray(ValueType::Int)
+        .putfield(n.comp, "codetab", ValueType::Ref);
+    a.aload(kThis).iconst(256).putfield(n.comp, "free_ent", ValueType::Int);
+    // htab[k] = -1 for all k
+    a.iconst(0).istore(kK);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kK).iconst(kHashSize).if_icmpge(done);
+    a.aload(kThis).getfield(n.comp, "htab", ValueType::Ref);
+    a.iload(kK).iconst(-1).op(Op::iastore);
+    a.iinc(kK, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // int getbyte(): return inpos < inbuf.length ? inbuf[inpos++]&0xff : -1
+    Assembler a(p, n.comp + ".getbyte()I", n.bm);
+    a.instance().args({ValueType::Ref}).returns(ValueType::Int);
+    const int kThis = 0, kPos = 1;
+    a.aload(kThis).getfield(n.comp, "inpos", ValueType::Int).istore(kPos);
+    auto have = a.new_label();
+    a.iload(kPos);
+    a.aload(kThis).getfield(n.comp, "inbuf", ValueType::Ref)
+        .op(Op::arraylength);
+    a.if_icmplt(have);
+    a.iconst(-1).op(Op::ireturn);
+    a.bind(have);
+    a.aload(kThis).iload(kPos).iconst(1).op(Op::iadd)
+        .putfield(n.comp, "inpos", ValueType::Int);
+    a.aload(kThis).getfield(n.comp, "inbuf", ValueType::Ref);
+    a.iload(kPos).op(Op::iaload);
+    a.iconst(255).op(Op::iand);
+    a.op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // void output(int code): pack 12 bits, flush whole bytes.
+    Assembler a(p, n.comp + ".output(I)V", n.bm);
+    a.instance().args({ValueType::Ref, ValueType::Int})
+        .returns(ValueType::Void);
+    const int kThis = 0, kCode = 1, kBuf = 2, kCnt = 3;
+    // bitbuf |= (code & 0xfff) << bitcnt
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.comp, "bitbuf", ValueType::Int);
+    a.iload(kCode).iconst(kMaxCodes - 1).op(Op::iand);
+    a.aload(kThis).getfield(n.comp, "bitcnt", ValueType::Int);
+    a.op(Op::ishl).op(Op::ior);
+    a.putfield(n.comp, "bitbuf", ValueType::Int);
+    // bitcnt += 12
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.comp, "bitcnt", ValueType::Int);
+    a.iconst(kCodeBits).op(Op::iadd);
+    a.putfield(n.comp, "bitcnt", ValueType::Int);
+    // while (bitcnt >= 8) emit low byte
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.aload(kThis).getfield(n.comp, "bitcnt", ValueType::Int);
+    a.iconst(8).if_icmplt(done);
+    a.aload(kThis).getfield(n.comp, "outbuf", ValueType::Ref).astore(kBuf);
+    a.aload(kThis).getfield(n.comp, "outcnt", ValueType::Int).istore(kCnt);
+    a.aload(kBuf).iload(kCnt);
+    a.aload(kThis).getfield(n.comp, "bitbuf", ValueType::Int);
+    a.iconst(255).op(Op::iand);
+    a.op(Op::iastore);
+    a.aload(kThis).iload(kCnt).iconst(1).op(Op::iadd)
+        .putfield(n.comp, "outcnt", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.comp, "bitbuf", ValueType::Int);
+    a.iconst(8).op(Op::iushr);
+    a.putfield(n.comp, "bitbuf", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.comp, "bitcnt", ValueType::Int);
+    a.iconst(8).op(Op::isub);
+    a.putfield(n.comp, "bitcnt", ValueType::Int);
+    a.goto_(head);
+    a.bind(done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // void flush(): pad the final partial byte.
+    Assembler a(p, n.comp + ".flush()V", n.bm);
+    a.instance().args({ValueType::Ref}).returns(ValueType::Void);
+    const int kThis = 0;
+    auto empty = a.new_label();
+    a.aload(kThis).getfield(n.comp, "bitcnt", ValueType::Int);
+    a.ifle(empty);
+    a.aload(kThis).getfield(n.comp, "outbuf", ValueType::Ref);
+    a.aload(kThis).getfield(n.comp, "outcnt", ValueType::Int);
+    a.aload(kThis).getfield(n.comp, "bitbuf", ValueType::Int);
+    a.iconst(255).op(Op::iand);
+    a.op(Op::iastore);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.comp, "outcnt", ValueType::Int);
+    a.iconst(1).op(Op::iadd);
+    a.putfield(n.comp, "outcnt", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.comp, "bitcnt", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.comp, "bitbuf", ValueType::Int);
+    a.bind(empty);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // void compress(): LZW with linear-probed hash table.
+    Assembler a(p, n.comp + ".compress()V", n.bm);
+    a.instance().args({ValueType::Ref}).returns(ValueType::Void);
+    const int kThis = 0, kEnt = 1, kC = 2, kFcode = 3, kI = 4, kHtab = 5;
+    const int kFree = 6;
+    // ent = getbyte(); if (ent == -1) return;
+    a.aload(kThis);
+    a.invokevirtual(n.comp + ".getbyte()I", 1, ValueType::Int);
+    a.istore(kEnt);
+    auto nonempty = a.new_label();
+    a.iload(kEnt).iconst(-1).if_icmpne(nonempty);
+    a.op(Op::return_);
+    a.bind(nonempty);
+    // while ((c = getbyte()) != -1)
+    auto loop = a.new_label(), done = a.new_label();
+    a.bind(loop);
+    a.aload(kThis);
+    a.invokevirtual(n.comp + ".getbyte()I", 1, ValueType::Int);
+    a.istore(kC);
+    a.iload(kC).iconst(-1).if_icmpeq(done);
+    //   fcode = (c << 12) + ent
+    a.iload(kC).iconst(kCodeBits).op(Op::ishl).iload(kEnt).op(Op::iadd)
+        .istore(kFcode);
+    //   i = (fcode * 0x9E3779B9) >>> 19   (Fibonacci hash into 2^13 slots)
+    a.iload(kFcode).iconst(static_cast<std::int32_t>(0x9E3779B9));
+    a.op(Op::imul).iconst(19).op(Op::iushr).istore(kI);
+    a.aload(kThis).getfield(n.comp, "htab", ValueType::Ref).astore(kHtab);
+    //   probe:
+    auto probe = a.new_label(), miss = a.new_label(), next_sym = a.new_label();
+    a.bind(probe);
+    a.aload(kHtab).iload(kI).op(Op::iaload).iconst(-1).if_icmpeq(miss);
+    auto not_hit = a.new_label();
+    a.aload(kHtab).iload(kI).op(Op::iaload).iload(kFcode)
+        .if_icmpne(not_hit);
+    //     hit: ent = codetab[i]; continue outer loop
+    a.aload(kThis).getfield(n.comp, "codetab", ValueType::Ref);
+    a.iload(kI).op(Op::iaload).istore(kEnt);
+    a.goto_(next_sym);
+    a.bind(not_hit);
+    a.iload(kI).iconst(1).op(Op::iadd).iconst(kHashMask).op(Op::iand)
+        .istore(kI);
+    a.goto_(probe);
+    a.bind(miss);
+    //   output(ent)
+    a.aload(kThis).iload(kEnt);
+    a.invokevirtual(n.comp + ".output(I)V", 2, ValueType::Void);
+    //   if (free_ent < kMaxCodes) { codetab[i]=free_ent++; htab[i]=fcode; }
+    a.aload(kThis).getfield(n.comp, "free_ent", ValueType::Int).istore(kFree);
+    auto table_full = a.new_label();
+    a.iload(kFree).iconst(kMaxCodes).if_icmpge(table_full);
+    a.aload(kThis).getfield(n.comp, "codetab", ValueType::Ref);
+    a.iload(kI).iload(kFree).op(Op::iastore);
+    a.aload(kHtab).iload(kI).iload(kFcode).op(Op::iastore);
+    a.aload(kThis).iload(kFree).iconst(1).op(Op::iadd)
+        .putfield(n.comp, "free_ent", ValueType::Int);
+    a.bind(table_full);
+    //   ent = c
+    a.iload(kC).istore(kEnt);
+    a.bind(next_sym);
+    a.goto_(loop);
+    a.bind(done);
+    // output(ent); flush();
+    a.aload(kThis).iload(kEnt);
+    a.invokevirtual(n.comp + ".output(I)V", 2, ValueType::Void);
+    a.aload(kThis);
+    a.invokevirtual(n.comp + ".flush()V", 1, ValueType::Void);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+}
+
+void build_decompressor(Program& p, const Names& n) {
+  p.classes[n.decomp] = ClassDef{
+      n.decomp,
+      {{"inbuf", ValueType::Ref},
+       {"inpos", ValueType::Int},
+       {"incnt", ValueType::Int},
+       {"bitbuf", ValueType::Int},
+       {"bitcnt", ValueType::Int},
+       {"prefix", ValueType::Ref},
+       {"suffix", ValueType::Ref},
+       {"destack", ValueType::Ref},
+       {"outbuf", ValueType::Ref},
+       {"outcnt", ValueType::Int},
+       {"limit", ValueType::Int},
+       {"free_ent", ValueType::Int}},
+      {}};
+
+  {
+    // void init(int[] compressed, int incnt, int limit)
+    Assembler a(p, n.decomp + ".init(AII)V", n.bm);
+    a.instance()
+        .args({ValueType::Ref, ValueType::Ref, ValueType::Int,
+               ValueType::Int})
+        .returns(ValueType::Void);
+    const int kThis = 0, kIn = 1, kCnt = 2, kLimit = 3;
+    a.aload(kThis).aload(kIn).putfield(n.decomp, "inbuf", ValueType::Ref);
+    a.aload(kThis).iload(kCnt).putfield(n.decomp, "incnt", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.decomp, "inpos", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.decomp, "bitbuf", ValueType::Int);
+    a.aload(kThis).iconst(0).putfield(n.decomp, "bitcnt", ValueType::Int);
+    a.aload(kThis).iconst(kMaxCodes).newarray(ValueType::Int)
+        .putfield(n.decomp, "prefix", ValueType::Ref);
+    a.aload(kThis).iconst(kMaxCodes).newarray(ValueType::Int)
+        .putfield(n.decomp, "suffix", ValueType::Ref);
+    a.aload(kThis).iconst(kMaxCodes).newarray(ValueType::Int)
+        .putfield(n.decomp, "destack", ValueType::Ref);
+    a.aload(kThis).iload(kLimit).newarray(ValueType::Int)
+        .putfield(n.decomp, "outbuf", ValueType::Ref);
+    a.aload(kThis).iconst(0).putfield(n.decomp, "outcnt", ValueType::Int);
+    a.aload(kThis).iload(kLimit).putfield(n.decomp, "limit", ValueType::Int);
+    a.aload(kThis).iconst(256).putfield(n.decomp, "free_ent",
+                                        ValueType::Int);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // int getcode(): read 12 bits; -1 when the input is exhausted.
+    Assembler a(p, n.decomp + ".getcode()I", n.bm);
+    a.instance().args({ValueType::Ref}).returns(ValueType::Int);
+    const int kThis = 0, kCode = 1;
+    // while (bitcnt < 12) { if (inpos >= incnt) return -1;
+    //                       bitbuf |= (inbuf[inpos++]&0xff) << bitcnt;
+    //                       bitcnt += 8; }
+    auto fill = a.new_label(), ready = a.new_label();
+    a.bind(fill);
+    a.aload(kThis).getfield(n.decomp, "bitcnt", ValueType::Int);
+    a.iconst(kCodeBits).if_icmpge(ready);
+    auto have = a.new_label();
+    a.aload(kThis).getfield(n.decomp, "inpos", ValueType::Int);
+    a.aload(kThis).getfield(n.decomp, "incnt", ValueType::Int);
+    a.if_icmplt(have);
+    a.iconst(-1).op(Op::ireturn);
+    a.bind(have);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "bitbuf", ValueType::Int);
+    a.aload(kThis).getfield(n.decomp, "inbuf", ValueType::Ref);
+    a.aload(kThis).getfield(n.decomp, "inpos", ValueType::Int);
+    a.op(Op::iaload).iconst(255).op(Op::iand);
+    a.aload(kThis).getfield(n.decomp, "bitcnt", ValueType::Int);
+    a.op(Op::ishl).op(Op::ior);
+    a.putfield(n.decomp, "bitbuf", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "inpos", ValueType::Int);
+    a.iconst(1).op(Op::iadd);
+    a.putfield(n.decomp, "inpos", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "bitcnt", ValueType::Int);
+    a.iconst(8).op(Op::iadd);
+    a.putfield(n.decomp, "bitcnt", ValueType::Int);
+    a.goto_(fill);
+    a.bind(ready);
+    // code = bitbuf & 0xfff; bitbuf >>>= 12; bitcnt -= 12; return code;
+    a.aload(kThis).getfield(n.decomp, "bitbuf", ValueType::Int);
+    a.iconst(kMaxCodes - 1).op(Op::iand).istore(kCode);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "bitbuf", ValueType::Int);
+    a.iconst(kCodeBits).op(Op::iushr);
+    a.putfield(n.decomp, "bitbuf", ValueType::Int);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "bitcnt", ValueType::Int);
+    a.iconst(kCodeBits).op(Op::isub);
+    a.putfield(n.decomp, "bitcnt", ValueType::Int);
+    a.iload(kCode).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // void putbyte(int b)
+    Assembler a(p, n.decomp + ".putbyte(I)V", n.bm);
+    a.instance().args({ValueType::Ref, ValueType::Int})
+        .returns(ValueType::Void);
+    const int kThis = 0, kB = 1;
+    a.aload(kThis).getfield(n.decomp, "outbuf", ValueType::Ref);
+    a.aload(kThis).getfield(n.decomp, "outcnt", ValueType::Int);
+    a.iload(kB).op(Op::iastore);
+    a.aload(kThis);
+    a.aload(kThis).getfield(n.decomp, "outcnt", ValueType::Int);
+    a.iconst(1).op(Op::iadd);
+    a.putfield(n.decomp, "outcnt", ValueType::Int);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // void decompress(): standard LZW decode with an explicit stack.
+    Assembler a(p, n.decomp + ".decompress()V", n.bm);
+    a.instance().args({ValueType::Ref}).returns(ValueType::Void);
+    const int kThis = 0, kFinchar = 1, kOldcode = 2, kCode = 3, kIncode = 4;
+    const int kSp = 5, kStack = 6, kFree = 7;
+    // finchar = getcode(); if (finchar == -1) return; putbyte(finchar);
+    a.aload(kThis);
+    a.invokevirtual(n.decomp + ".getcode()I", 1, ValueType::Int);
+    a.istore(kFinchar);
+    auto nonempty = a.new_label();
+    a.iload(kFinchar).iconst(-1).if_icmpne(nonempty);
+    a.op(Op::return_);
+    a.bind(nonempty);
+    a.aload(kThis).iload(kFinchar);
+    a.invokevirtual(n.decomp + ".putbyte(I)V", 2, ValueType::Void);
+    a.iload(kFinchar).istore(kOldcode);
+    a.aload(kThis).getfield(n.decomp, "destack", ValueType::Ref)
+        .astore(kStack);
+    // while (outcnt < limit && (code = getcode()) != -1)
+    auto loop = a.new_label(), done = a.new_label();
+    a.bind(loop);
+    a.aload(kThis).getfield(n.decomp, "outcnt", ValueType::Int);
+    a.aload(kThis).getfield(n.decomp, "limit", ValueType::Int);
+    a.if_icmpge(done);
+    a.aload(kThis);
+    a.invokevirtual(n.decomp + ".getcode()I", 1, ValueType::Int);
+    a.istore(kCode);
+    a.iload(kCode).iconst(-1).if_icmpeq(done);
+    a.iload(kCode).istore(kIncode);
+    a.iconst(0).istore(kSp);
+    //   if (code >= free_ent) { stack[sp++] = finchar; code = oldcode; }
+    auto known = a.new_label();
+    a.iload(kCode);
+    a.aload(kThis).getfield(n.decomp, "free_ent", ValueType::Int);
+    a.if_icmplt(known);
+    a.aload(kStack).iload(kSp).iload(kFinchar).op(Op::iastore);
+    a.iinc(kSp, 1);
+    a.iload(kOldcode).istore(kCode);
+    a.bind(known);
+    //   while (code >= 256) { stack[sp++] = suffix[code]; code = prefix[code]; }
+    auto expand = a.new_label(), expanded = a.new_label();
+    a.bind(expand);
+    a.iload(kCode).iconst(256).if_icmplt(expanded);
+    a.aload(kStack).iload(kSp);
+    a.aload(kThis).getfield(n.decomp, "suffix", ValueType::Ref);
+    a.iload(kCode).op(Op::iaload);
+    a.op(Op::iastore);
+    a.iinc(kSp, 1);
+    a.aload(kThis).getfield(n.decomp, "prefix", ValueType::Ref);
+    a.iload(kCode).op(Op::iaload).istore(kCode);
+    a.goto_(expand);
+    a.bind(expanded);
+    //   finchar = code; putbyte(finchar);
+    a.iload(kCode).istore(kFinchar);
+    a.aload(kThis).iload(kFinchar);
+    a.invokevirtual(n.decomp + ".putbyte(I)V", 2, ValueType::Void);
+    //   while (sp > 0) putbyte(stack[--sp]);
+    auto drain = a.new_label(), drained = a.new_label();
+    a.bind(drain);
+    a.iload(kSp).ifle(drained);
+    a.iinc(kSp, -1);
+    a.aload(kThis);
+    a.aload(kStack).iload(kSp).op(Op::iaload);
+    a.invokevirtual(n.decomp + ".putbyte(I)V", 2, ValueType::Void);
+    a.goto_(drain);
+    a.bind(drained);
+    //   if (free_ent < kMaxCodes) { prefix[f]=oldcode; suffix[f]=finchar;
+    //                               free_ent++; }
+    a.aload(kThis).getfield(n.decomp, "free_ent", ValueType::Int)
+        .istore(kFree);
+    auto full = a.new_label();
+    a.iload(kFree).iconst(kMaxCodes).if_icmpge(full);
+    a.aload(kThis).getfield(n.decomp, "prefix", ValueType::Ref);
+    a.iload(kFree).iload(kOldcode).op(Op::iastore);
+    a.aload(kThis).getfield(n.decomp, "suffix", ValueType::Ref);
+    a.iload(kFree).iload(kFinchar).op(Op::iastore);
+    a.aload(kThis).iload(kFree).iconst(1).op(Op::iadd)
+        .putfield(n.decomp, "free_ent", ValueType::Int);
+    a.bind(full);
+    //   oldcode = incode;
+    a.iload(kIncode).istore(kOldcode);
+    a.goto_(loop);
+    a.bind(done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+}
+
+void build_crc(Program& p, const Names& n) {
+  p.classes[n.crc] = ClassDef{n.crc, {{"crc", ValueType::Int}}, {}};
+  // void update(int[] b): bitwise CRC-32 (poly 0xEDB88320).
+  Assembler a(p, n.crc + ".update(A)V", n.bm);
+  a.instance().args({ValueType::Ref, ValueType::Ref})
+      .returns(ValueType::Void);
+  const int kThis = 0, kB = 1, kC = 2, kK = 3, kI = 4;
+  a.aload(kThis).getfield(n.crc, "crc", ValueType::Int).istore(kC);
+  a.iconst(0).istore(kK);
+  auto khead = a.new_label(), kdone = a.new_label();
+  a.bind(khead);
+  a.iload(kK).aload(kB).op(Op::arraylength).if_icmpge(kdone);
+  a.iload(kC);
+  a.aload(kB).iload(kK).op(Op::iaload).iconst(255).op(Op::iand);
+  a.op(Op::ixor).istore(kC);
+  a.iconst(0).istore(kI);
+  auto ihead = a.new_label(), idone = a.new_label();
+  a.bind(ihead);
+  a.iload(kI).iconst(8).if_icmpge(idone);
+  auto even = a.new_label(), joined = a.new_label();
+  a.iload(kC).iconst(1).op(Op::iand).ifeq(even);
+  a.iload(kC).iconst(1).op(Op::iushr);
+  a.iconst(static_cast<std::int32_t>(0xEDB88320));
+  a.op(Op::ixor).istore(kC);
+  a.goto_(joined);
+  a.bind(even);
+  a.iload(kC).iconst(1).op(Op::iushr).istore(kC);
+  a.bind(joined);
+  a.iinc(kI, 1);
+  a.goto_(ihead);
+  a.bind(idone);
+  a.iinc(kK, 1);
+  a.goto_(khead);
+  a.bind(kdone);
+  a.aload(kThis).iload(kC).putfield(n.crc, "crc", ValueType::Int);
+  a.op(Op::return_);
+  p.methods.push_back(a.build());
+}
+
+// ---- driver ----------------------------------------------------------------
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    throw std::runtime_error(std::string("compress check failed: ") + what);
+  }
+}
+
+// Compressible pseudo-text: repeating word-like patterns with drift.
+std::vector<int> make_input(int size) {
+  std::vector<int> data;
+  data.reserve(static_cast<std::size_t>(size));
+  unsigned s = 12345;
+  for (int k = 0; k < size; ++k) {
+    s = s * 1103515245u + 12345u;
+    const int word = static_cast<int>((s >> 16) % 16);
+    data.push_back('a' + (word + k / 97) % 26);
+  }
+  return data;
+}
+
+std::function<void(Interpreter&)> make_driver(Names n, int input_size) {
+  return [n, input_size](Interpreter& vm) {
+    auto& h = vm.heap();
+    const std::vector<int> input = make_input(input_size);
+    const Ref in =
+        h.new_array(ValueType::Int, static_cast<std::int32_t>(input.size()));
+    for (std::size_t k = 0; k < input.size(); ++k) {
+      h.array_set(in, static_cast<std::int32_t>(k),
+                  Value::make_int(input[k]));
+    }
+    // CRC of the input.
+    const Ref crc = h.new_object(*vm.program().find_class(n.crc));
+    vm.invoke(n.crc + ".update(A)V", {Value::make_ref(crc), Value::make_ref(in)});
+
+    // Compress.
+    const Ref comp = h.new_object(*vm.program().find_class(n.comp));
+    vm.invoke(n.comp + ".init(A)V", {Value::make_ref(comp), Value::make_ref(in)});
+    vm.invoke(n.comp + ".compress()V", {Value::make_ref(comp)});
+    const auto comp_cls = vm.program().find_class(n.comp);
+    const Ref outbuf =
+        h.get_field(comp, *comp_cls->instance_slot("outbuf")).as_ref();
+    const std::int32_t outcnt =
+        h.get_field(comp, *comp_cls->instance_slot("outcnt")).as_int();
+    expect(outcnt > 0, "no compressed output");
+    expect(outcnt < static_cast<std::int32_t>(input.size()),
+           "output should be smaller than compressible input");
+
+    // Decompress and verify a byte-exact round trip.
+    const Ref dec = h.new_object(*vm.program().find_class(n.decomp));
+    vm.invoke(n.decomp + ".init(AII)V",
+              {Value::make_ref(dec), Value::make_ref(outbuf),
+               Value::make_int(outcnt),
+               Value::make_int(static_cast<std::int32_t>(input.size()))});
+    vm.invoke(n.decomp + ".decompress()V", {Value::make_ref(dec)});
+    const auto dec_cls = vm.program().find_class(n.decomp);
+    const Ref roundtrip =
+        h.get_field(dec, *dec_cls->instance_slot("outbuf")).as_ref();
+    const std::int32_t got =
+        h.get_field(dec, *dec_cls->instance_slot("outcnt")).as_int();
+    expect(got == static_cast<std::int32_t>(input.size()),
+           "round-trip length");
+    for (std::size_t k = 0; k < input.size(); ++k) {
+      expect(h.array_get(roundtrip, static_cast<std::int32_t>(k)).as_int() ==
+                 input[k],
+             "round-trip bytes");
+    }
+  };
+}
+
+Names names_for(const std::string& prefix, const std::string& bm) {
+  return Names{prefix + ".Compressor", prefix + ".Decompressor",
+               prefix + ".CRC32", bm};
+}
+
+}  // namespace
+
+std::vector<Benchmark> make_compress_benchmarks(Program& p) {
+  std::vector<Benchmark> out;
+  {
+    const Names n = names_for("spec.benchmarks.compress", "compress");
+    build_compressor(p, n);
+    build_decompressor(p, n);
+    build_crc(p, n);
+    out.push_back({"compress",
+                   "SpecJvm2008",
+                   {n.comp + ".compress()V", n.crc + ".update(A)V",
+                    n.decomp + ".decompress()V", n.comp + ".output(I)V",
+                    n.comp + ".getbyte()I", n.decomp + ".getcode()I",
+                    n.decomp + ".putbyte(I)V"},
+                   make_driver(n, 6144)});
+  }
+  {
+    const Names n =
+        names_for("spec.benchmarks._201_compress", "_201_compress");
+    build_compressor(p, n);
+    build_decompressor(p, n);
+    build_crc(p, n);
+    out.push_back({"_201_compress",
+                   "SpecJvm98",
+                   {n.comp + ".compress()V", n.decomp + ".decompress()V",
+                    n.comp + ".output(I)V", n.comp + ".getbyte()I"},
+                   make_driver(n, 4096)});
+  }
+  return out;
+}
+
+}  // namespace javaflow::workloads

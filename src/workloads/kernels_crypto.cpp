@@ -1,0 +1,804 @@
+// crypto.signverify analogue — the paper's Table 3 hot methods:
+// gnu.java.math.MPN.submul_1 / MPN.mul (multi-precision integer kernels
+// behind RSA sign/verify) and gnu.java.security.hash Sha160.sha /
+// Sha256.sha (the SHA compression functions).
+//
+// All four kernels are validated against host-side C++ reimplementations
+// by the driver, so a wrong answer in either the assembler-written
+// ByteCode or the interpreter fails the workload run.
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bytecode/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace javaflow::workloads {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::ClassDef;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+using jvm::Interpreter;
+using jvm::Ref;
+using jvm::Value;
+
+constexpr const char* kMpn = "gnu.java.math.MPN";
+constexpr const char* kSha160 = "gnu.java.security.hash.Sha160";
+constexpr const char* kSha256 = "gnu.java.security.hash.Sha256";
+const std::string kBm = "crypto.signverify";
+
+// ---- MPN -------------------------------------------------------------------
+
+void build_mpn(Program& p) {
+  {
+    // static int submul_1(int[] dest, int offset, int[] x, int len, int y):
+    //   dest[offset..offset+len) -= x[0..len) * y  (unsigned), returns the
+    //   final borrow word. The GNU Classpath structure: 64-bit carry chain
+    //   over 32-bit unsigned limbs.
+    Assembler a(p, std::string(kMpn) + ".submul_1(AIAII)I", kBm);
+    a.args({ValueType::Ref, ValueType::Int, ValueType::Ref, ValueType::Int,
+            ValueType::Int})
+        .returns(ValueType::Int);
+    const int kDest = 0, kOff = 1, kX = 2, kLen = 3, kY = 4;
+    const int kYl = 5, kCarry = 7;            // longs
+    const int kJ = 9, kProdLow = 10, kXj = 11, kDiff = 12;
+    a.locals(14);
+    // yl = y & 0xffffffffL
+    a.iload(kY).op(Op::i2l);
+    a.lconst(0xffffffffLL);
+    a.op(Op::land).lstore(kYl);
+    a.lconst(0).lstore(kCarry);
+    a.iconst(0).istore(kJ);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kJ).iload(kLen).if_icmpge(done);
+    // carry += (x[j] & 0xffffffffL) * yl
+    a.lload(kCarry);
+    a.aload(kX).iload(kJ).op(Op::iaload).op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land);
+    a.lload(kYl).op(Op::lmul);
+    a.op(Op::ladd).lstore(kCarry);
+    // prod_low = (int) carry; carry >>>= 32
+    a.lload(kCarry).op(Op::l2i).istore(kProdLow);
+    a.lload(kCarry).iconst(32).op(Op::lushr).lstore(kCarry);
+    // x_j = dest[offset + j]; diff = x_j - prod_low
+    a.aload(kDest).iload(kOff).iload(kJ).op(Op::iadd).op(Op::iaload)
+        .istore(kXj);
+    a.iload(kXj).iload(kProdLow).op(Op::isub).istore(kDiff);
+    // if (unsigned(diff) > unsigned(x_j)) carry++   (borrow occurred)
+    auto no_borrow = a.new_label();
+    a.iload(kDiff).iconst(static_cast<std::int32_t>(0x80000000u))
+        .op(Op::ixor);
+    a.iload(kXj).iconst(static_cast<std::int32_t>(0x80000000u)).op(Op::ixor);
+    a.if_icmple(no_borrow);
+    a.lload(kCarry).lconst(1).op(Op::ladd).lstore(kCarry);
+    a.bind(no_borrow);
+    // dest[offset + j] = diff
+    a.aload(kDest).iload(kOff).iload(kJ).op(Op::iadd).iload(kDiff)
+        .op(Op::iastore);
+    a.iinc(kJ, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.lload(kCarry).op(Op::l2i).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void mul(int[] dest, int[] x, int xlen, int[] y, int ylen):
+    //   schoolbook multi-precision multiply, dest has xlen+ylen limbs.
+    Assembler a(p, std::string(kMpn) + ".mul(AAIAI)V", kBm);
+    a.args({ValueType::Ref, ValueType::Ref, ValueType::Int, ValueType::Ref,
+            ValueType::Int})
+        .returns(ValueType::Void);
+    const int kDest = 0, kX = 1, kXlen = 2, kY = 3, kYlen = 4;
+    const int kI = 5, kJ = 6, kK = 7;
+    const int kYw = 8, kCarry = 10;  // longs
+    a.locals(12);
+    // zero dest
+    a.iconst(0).istore(kK);
+    auto zh = a.new_label(), zd = a.new_label();
+    a.bind(zh);
+    a.iload(kK).iload(kXlen).iload(kYlen).op(Op::iadd).if_icmpge(zd);
+    a.aload(kDest).iload(kK).iconst(0).op(Op::iastore);
+    a.iinc(kK, 1);
+    a.goto_(zh);
+    a.bind(zd);
+    // outer over y limbs
+    a.iconst(0).istore(kI);
+    auto ih = a.new_label(), id = a.new_label();
+    a.bind(ih);
+    a.iload(kI).iload(kYlen).if_icmpge(id);
+    a.aload(kY).iload(kI).op(Op::iaload).op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land).lstore(kYw);
+    a.lconst(0).lstore(kCarry);
+    a.iconst(0).istore(kJ);
+    auto jh = a.new_label(), jd = a.new_label();
+    a.bind(jh);
+    a.iload(kJ).iload(kXlen).if_icmpge(jd);
+    // carry += (x[j] & M) * yw + (dest[i+j] & M)
+    a.lload(kCarry);
+    a.aload(kX).iload(kJ).op(Op::iaload).op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land);
+    a.lload(kYw).op(Op::lmul);
+    a.op(Op::ladd);
+    a.aload(kDest).iload(kI).iload(kJ).op(Op::iadd).op(Op::iaload)
+        .op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land);
+    a.op(Op::ladd).lstore(kCarry);
+    // dest[i+j] = (int) carry; carry >>>= 32
+    a.aload(kDest).iload(kI).iload(kJ).op(Op::iadd);
+    a.lload(kCarry).op(Op::l2i);
+    a.op(Op::iastore);
+    a.lload(kCarry).iconst(32).op(Op::lushr).lstore(kCarry);
+    a.iinc(kJ, 1);
+    a.goto_(jh);
+    a.bind(jd);
+    // dest[i + xlen] = (int) carry
+    a.aload(kDest).iload(kI).iload(kXlen).op(Op::iadd);
+    a.lload(kCarry).op(Op::l2i);
+    a.op(Op::iastore);
+    a.iinc(kI, 1);
+    a.goto_(ih);
+    a.bind(id);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+}
+
+void build_mpn_addsub(Program& p) {
+  {
+    // static int add_n(int[] dest, int[] x, int[] y, int len):
+    //   dest = x + y (unsigned limbs), returns the carry out.
+    Assembler a(p, std::string(kMpn) + ".add_n(AAAI)I", kBm);
+    a.args({ValueType::Ref, ValueType::Ref, ValueType::Ref, ValueType::Int})
+        .returns(ValueType::Int);
+    const int kDest = 0, kX = 1, kY = 2, kLen = 3;
+    const int kCarry = 4;  // long
+    const int kI = 6;
+    a.locals(8);
+    a.lconst(0).lstore(kCarry);
+    a.iconst(0).istore(kI);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kLen).if_icmpge(done);
+    // carry += (x[i] & M) + (y[i] & M)
+    a.lload(kCarry);
+    a.aload(kX).iload(kI).op(Op::iaload).op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land);
+    a.op(Op::ladd);
+    a.aload(kY).iload(kI).op(Op::iaload).op(Op::i2l);
+    a.lconst(0xffffffffLL).op(Op::land);
+    a.op(Op::ladd).lstore(kCarry);
+    // dest[i] = (int) carry; carry >>>= 32
+    a.aload(kDest).iload(kI);
+    a.lload(kCarry).op(Op::l2i);
+    a.op(Op::iastore);
+    a.lload(kCarry).iconst(32).op(Op::lushr).lstore(kCarry);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.lload(kCarry).op(Op::l2i).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static int sub_n(int[] dest, int[] x, int[] y, int len):
+    //   dest = x - y (unsigned limbs), returns the borrow out — the
+    //   method whose DataFlow translation the paper walks through in
+    //   Figure 22 ("gnu\java\math\MPN\sub_n([I[I[II)I").
+    Assembler a(p, std::string(kMpn) + ".sub_n(AAAI)I", kBm);
+    a.args({ValueType::Ref, ValueType::Ref, ValueType::Ref, ValueType::Int})
+        .returns(ValueType::Int);
+    const int kDest = 0, kX = 1, kY = 2, kLen = 3;
+    const int kCy = 4, kI = 5, kXi = 6, kYi = 7;
+    a.locals(9);
+    a.iconst(0).istore(kCy);
+    a.iconst(0).istore(kI);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kLen).if_icmpge(done);
+    a.aload(kX).iload(kI).op(Op::iaload).istore(kXi);
+    a.aload(kY).iload(kI).op(Op::iaload).istore(kYi);
+    // y += cy; cy = unsigned(y) < unsigned(cy) ? 1 : 0
+    a.iload(kYi).iload(kCy).op(Op::iadd).istore(kYi);
+    auto no_ovf1 = a.new_label(), join1 = a.new_label();
+    a.iload(kYi).iconst(static_cast<std::int32_t>(0x80000000u))
+        .op(Op::ixor);
+    a.iload(kCy).iconst(static_cast<std::int32_t>(0x80000000u))
+        .op(Op::ixor);
+    a.if_icmpge(no_ovf1);
+    a.iconst(1).istore(kCy);
+    a.goto_(join1);
+    a.bind(no_ovf1);
+    a.iconst(0).istore(kCy);
+    a.bind(join1);
+    // y = x - y; cy += unsigned(y) > unsigned(x) ? 1 : 0
+    a.iload(kXi).iload(kYi).op(Op::isub).istore(kYi);
+    auto no_borrow = a.new_label();
+    a.iload(kYi).iconst(static_cast<std::int32_t>(0x80000000u))
+        .op(Op::ixor);
+    a.iload(kXi).iconst(static_cast<std::int32_t>(0x80000000u))
+        .op(Op::ixor);
+    a.if_icmple(no_borrow);
+    a.iinc(kCy, 1);
+    a.bind(no_borrow);
+    a.aload(kDest).iload(kI).iload(kYi).op(Op::iastore);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.iload(kCy).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+}
+
+// ---- SHA-160 ----------------------------------------------------------------
+
+void build_sha160(Program& p) {
+  p.classes[kSha160] = ClassDef{kSha160, {}, {}};
+  // static int[] sha(int h0..h4, int[] block16): one SHA-1 compression.
+  Assembler a(p, std::string(kSha160) + ".sha(IIIIIA)A", kBm);
+  a.args({ValueType::Int, ValueType::Int, ValueType::Int, ValueType::Int,
+          ValueType::Int, ValueType::Ref})
+      .returns(ValueType::Ref);
+  const int kH0 = 0, kBlock = 5;
+  const int kW = 6, kI = 7, kT = 8;
+  const int kA = 9, kB = 10, kC = 11, kD = 12, kE = 13, kF = 14, kK = 15;
+  const int kTemp = 16, kOut = 17;
+  a.locals(18);
+
+  // W = new int[80]; W[0..15] = block[0..15]
+  a.iconst(80).newarray(ValueType::Int).astore(kW);
+  a.iconst(0).istore(kI);
+  auto ch = a.new_label(), cd = a.new_label();
+  a.bind(ch);
+  a.iload(kI).iconst(16).if_icmpge(cd);
+  a.aload(kW).iload(kI);
+  a.aload(kBlock).iload(kI).op(Op::iaload);
+  a.op(Op::iastore);
+  a.iinc(kI, 1);
+  a.goto_(ch);
+  a.bind(cd);
+  // for (i=16..79) { t = W[i-3]^W[i-8]^W[i-14]^W[i-16]; W[i]=rotl(t,1); }
+  auto eh = a.new_label(), ed = a.new_label();
+  a.bind(eh);
+  a.iload(kI).iconst(80).if_icmpge(ed);
+  a.aload(kW).iload(kI).iconst(3).op(Op::isub).op(Op::iaload);
+  a.aload(kW).iload(kI).iconst(8).op(Op::isub).op(Op::iaload);
+  a.op(Op::ixor);
+  a.aload(kW).iload(kI).iconst(14).op(Op::isub).op(Op::iaload);
+  a.op(Op::ixor);
+  a.aload(kW).iload(kI).iconst(16).op(Op::isub).op(Op::iaload);
+  a.op(Op::ixor).istore(kT);
+  a.aload(kW).iload(kI);
+  a.iload(kT).iconst(1).op(Op::ishl);
+  a.iload(kT).iconst(31).op(Op::iushr);
+  a.op(Op::ior);
+  a.op(Op::iastore);
+  a.iinc(kI, 1);
+  a.goto_(eh);
+  a.bind(ed);
+  // working registers
+  a.iload(kH0 + 0).istore(kA);
+  a.iload(kH0 + 1).istore(kB);
+  a.iload(kH0 + 2).istore(kC);
+  a.iload(kH0 + 3).istore(kD);
+  a.iload(kH0 + 4).istore(kE);
+  // 80 rounds
+  a.iconst(0).istore(kI);
+  auto rh = a.new_label(), rd = a.new_label();
+  a.bind(rh);
+  a.iload(kI).iconst(80).if_icmpge(rd);
+  auto ph2 = a.new_label(), ph3 = a.new_label(), ph4 = a.new_label();
+  auto have_f = a.new_label();
+  a.iload(kI).iconst(20).if_icmpge(ph2);
+  // f = (B & C) | (~B & D); k = 0x5A827999
+  a.iload(kB).iload(kC).op(Op::iand);
+  a.iload(kB).iconst(-1).op(Op::ixor).iload(kD).op(Op::iand);
+  a.op(Op::ior).istore(kF);
+  a.iconst(0x5A827999).istore(kK);
+  a.goto_(have_f);
+  a.bind(ph2);
+  a.iload(kI).iconst(40).if_icmpge(ph3);
+  a.iload(kB).iload(kC).op(Op::ixor).iload(kD).op(Op::ixor).istore(kF);
+  a.iconst(0x6ED9EBA1).istore(kK);
+  a.goto_(have_f);
+  a.bind(ph3);
+  a.iload(kI).iconst(60).if_icmpge(ph4);
+  // f = (B & C) | (B & D) | (C & D)
+  a.iload(kB).iload(kC).op(Op::iand);
+  a.iload(kB).iload(kD).op(Op::iand);
+  a.op(Op::ior);
+  a.iload(kC).iload(kD).op(Op::iand);
+  a.op(Op::ior).istore(kF);
+  a.iconst(static_cast<std::int32_t>(0x8F1BBCDC)).istore(kK);
+  a.goto_(have_f);
+  a.bind(ph4);
+  a.iload(kB).iload(kC).op(Op::ixor).iload(kD).op(Op::ixor).istore(kF);
+  a.iconst(static_cast<std::int32_t>(0xCA62C1D6)).istore(kK);
+  a.bind(have_f);
+  // temp = rotl(A,5) + f + E + k + W[i]
+  a.iload(kA).iconst(5).op(Op::ishl);
+  a.iload(kA).iconst(27).op(Op::iushr);
+  a.op(Op::ior);
+  a.iload(kF).op(Op::iadd);
+  a.iload(kE).op(Op::iadd);
+  a.iload(kK).op(Op::iadd);
+  a.aload(kW).iload(kI).op(Op::iaload).op(Op::iadd);
+  a.istore(kTemp);
+  // E=D; D=C; C=rotl(B,30); B=A; A=temp
+  a.iload(kD).istore(kE);
+  a.iload(kC).istore(kD);
+  a.iload(kB).iconst(30).op(Op::ishl);
+  a.iload(kB).iconst(2).op(Op::iushr);
+  a.op(Op::ior).istore(kC);
+  a.iload(kA).istore(kB);
+  a.iload(kTemp).istore(kA);
+  a.iinc(kI, 1);
+  a.goto_(rh);
+  a.bind(rd);
+  // out[5] = {h+working}
+  a.iconst(5).newarray(ValueType::Int).astore(kOut);
+  a.aload(kOut).iconst(0).iload(kH0 + 0).iload(kA).op(Op::iadd)
+      .op(Op::iastore);
+  a.aload(kOut).iconst(1).iload(kH0 + 1).iload(kB).op(Op::iadd)
+      .op(Op::iastore);
+  a.aload(kOut).iconst(2).iload(kH0 + 2).iload(kC).op(Op::iadd)
+      .op(Op::iastore);
+  a.aload(kOut).iconst(3).iload(kH0 + 3).iload(kD).op(Op::iadd)
+      .op(Op::iastore);
+  a.aload(kOut).iconst(4).iload(kH0 + 4).iload(kE).op(Op::iadd)
+      .op(Op::iastore);
+  a.aload(kOut).op(Op::areturn);
+  p.methods.push_back(a.build());
+}
+
+// ---- SHA-256 ----------------------------------------------------------------
+
+constexpr std::array<std::uint32_t, 64> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+// Emits "rotr(local, n)" leaving the result on the stack.
+void emit_rotr(Assembler& a, int local, int n) {
+  a.iload(local).iconst(n).op(Op::iushr);
+  a.iload(local).iconst(32 - n).op(Op::ishl);
+  a.op(Op::ior);
+}
+
+void build_sha256(Program& p) {
+  p.classes[kSha256] =
+      ClassDef{kSha256, {}, {{"K", ValueType::Ref}}};
+  // static int[] sha(int[] h8, int[] block16): one SHA-256 compression.
+  // The K round constants live in a static field (Method Area data, like
+  // the Constant Pool accesses the paper describes in Figure 10).
+  Assembler a(p, std::string(kSha256) + ".sha(AA)A", kBm);
+  a.args({ValueType::Ref, ValueType::Ref}).returns(ValueType::Ref);
+  const int kH = 0, kBlock = 1;
+  const int kW = 2, kI = 3, kT = 4;
+  const int kA = 5, kB = 6, kC = 7, kD = 8, kE = 9, kF = 10, kG = 11,
+            kHh = 12;
+  const int kT1 = 13, kT2 = 14, kOut = 15, kKtab = 16, kS0 = 17, kS1 = 18;
+  a.locals(19);
+
+  // W = new int[64]; W[0..15] = block
+  a.iconst(64).newarray(ValueType::Int).astore(kW);
+  a.iconst(0).istore(kI);
+  auto ch = a.new_label(), cd = a.new_label();
+  a.bind(ch);
+  a.iload(kI).iconst(16).if_icmpge(cd);
+  a.aload(kW).iload(kI);
+  a.aload(kBlock).iload(kI).op(Op::iaload);
+  a.op(Op::iastore);
+  a.iinc(kI, 1);
+  a.goto_(ch);
+  a.bind(cd);
+  // message schedule: W[i] = s1(W[i-2]) + W[i-7] + s0(W[i-15]) + W[i-16]
+  auto eh = a.new_label(), ed = a.new_label();
+  a.bind(eh);
+  a.iload(kI).iconst(64).if_icmpge(ed);
+  // s0 = rotr(w15,7) ^ rotr(w15,18) ^ (w15 >>> 3)
+  a.aload(kW).iload(kI).iconst(15).op(Op::isub).op(Op::iaload).istore(kT);
+  emit_rotr(a, kT, 7);
+  emit_rotr(a, kT, 18);
+  a.op(Op::ixor);
+  a.iload(kT).iconst(3).op(Op::iushr);
+  a.op(Op::ixor).istore(kS0);
+  // s1 = rotr(w2,17) ^ rotr(w2,19) ^ (w2 >>> 10)
+  a.aload(kW).iload(kI).iconst(2).op(Op::isub).op(Op::iaload).istore(kT);
+  emit_rotr(a, kT, 17);
+  emit_rotr(a, kT, 19);
+  a.op(Op::ixor);
+  a.iload(kT).iconst(10).op(Op::iushr);
+  a.op(Op::ixor).istore(kS1);
+  a.aload(kW).iload(kI);
+  a.iload(kS1);
+  a.aload(kW).iload(kI).iconst(7).op(Op::isub).op(Op::iaload);
+  a.op(Op::iadd);
+  a.iload(kS0).op(Op::iadd);
+  a.aload(kW).iload(kI).iconst(16).op(Op::isub).op(Op::iaload);
+  a.op(Op::iadd);
+  a.op(Op::iastore);
+  a.iinc(kI, 1);
+  a.goto_(eh);
+  a.bind(ed);
+
+  // load working registers from h[0..7]
+  a.aload(kH).iconst(0).op(Op::iaload).istore(kA);
+  a.aload(kH).iconst(1).op(Op::iaload).istore(kB);
+  a.aload(kH).iconst(2).op(Op::iaload).istore(kC);
+  a.aload(kH).iconst(3).op(Op::iaload).istore(kD);
+  a.aload(kH).iconst(4).op(Op::iaload).istore(kE);
+  a.aload(kH).iconst(5).op(Op::iaload).istore(kF);
+  a.aload(kH).iconst(6).op(Op::iaload).istore(kG);
+  a.aload(kH).iconst(7).op(Op::iaload).istore(kHh);
+  a.getstatic(kSha256, "K", ValueType::Ref).astore(kKtab);
+
+  // 64 rounds
+  a.iconst(0).istore(kI);
+  auto rh = a.new_label(), rd = a.new_label();
+  a.bind(rh);
+  a.iload(kI).iconst(64).if_icmpge(rd);
+  // S1 = rotr(e,6)^rotr(e,11)^rotr(e,25)
+  emit_rotr(a, kE, 6);
+  emit_rotr(a, kE, 11);
+  a.op(Op::ixor);
+  emit_rotr(a, kE, 25);
+  a.op(Op::ixor).istore(kS1);
+  // ch = (e & f) ^ (~e & g)
+  a.iload(kE).iload(kF).op(Op::iand);
+  a.iload(kE).iconst(-1).op(Op::ixor).iload(kG).op(Op::iand);
+  a.op(Op::ixor).istore(kT);
+  // t1 = h + S1 + ch + K[i] + W[i]
+  a.iload(kHh).iload(kS1).op(Op::iadd);
+  a.iload(kT).op(Op::iadd);
+  a.aload(kKtab).iload(kI).op(Op::iaload).op(Op::iadd);
+  a.aload(kW).iload(kI).op(Op::iaload).op(Op::iadd);
+  a.istore(kT1);
+  // S0 = rotr(a,2)^rotr(a,13)^rotr(a,22)
+  emit_rotr(a, kA, 2);
+  emit_rotr(a, kA, 13);
+  a.op(Op::ixor);
+  emit_rotr(a, kA, 22);
+  a.op(Op::ixor).istore(kS0);
+  // maj = (a & b) ^ (a & c) ^ (b & c)
+  a.iload(kA).iload(kB).op(Op::iand);
+  a.iload(kA).iload(kC).op(Op::iand);
+  a.op(Op::ixor);
+  a.iload(kB).iload(kC).op(Op::iand);
+  a.op(Op::ixor).istore(kT);
+  // t2 = S0 + maj
+  a.iload(kS0).iload(kT).op(Op::iadd).istore(kT2);
+  // rotate registers
+  a.iload(kG).istore(kHh);
+  a.iload(kF).istore(kG);
+  a.iload(kE).istore(kF);
+  a.iload(kD).iload(kT1).op(Op::iadd).istore(kE);
+  a.iload(kC).istore(kD);
+  a.iload(kB).istore(kC);
+  a.iload(kA).istore(kB);
+  a.iload(kT1).iload(kT2).op(Op::iadd).istore(kA);
+  a.iinc(kI, 1);
+  a.goto_(rh);
+  a.bind(rd);
+
+  // out[8] = h[] + working
+  a.iconst(8).newarray(ValueType::Int).astore(kOut);
+  const int regs[8] = {kA, kB, kC, kD, kE, kF, kG, kHh};
+  for (int k = 0; k < 8; ++k) {
+    a.aload(kOut).iconst(k);
+    a.aload(kH).iconst(k).op(Op::iaload);
+    a.iload(regs[k]).op(Op::iadd);
+    a.op(Op::iastore);
+  }
+  a.aload(kOut).op(Op::areturn);
+  p.methods.push_back(a.build());
+}
+
+// ---- host-side oracles ------------------------------------------------------
+
+std::uint32_t rotl(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+std::uint32_t rotr(std::uint32_t v, int n) {
+  return (v >> n) | (v << (32 - n));
+}
+
+std::array<std::uint32_t, 5> host_sha1(const std::array<std::uint32_t, 5>& h,
+                                       const std::array<std::uint32_t, 16>& m) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = m[static_cast<std::size_t>(i)];
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  return {h[0] + a, h[1] + b, h[2] + c, h[3] + d, h[4] + e};
+}
+
+std::array<std::uint32_t, 8> host_sha256(
+    const std::array<std::uint32_t, 8>& h,
+    const std::array<std::uint32_t, 16>& m) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = m[static_cast<std::size_t>(i)];
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = s1 + w[i - 7] + s0 + w[i - 16];
+  }
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+                g = h[6], hh = h[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = hh + s1 + ch + kSha256K[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    hh = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  return {h[0] + a, h[1] + b, h[2] + c, h[3] + d,
+          h[4] + e, h[5] + f, h[6] + g, h[7] + hh};
+}
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    throw std::runtime_error(std::string("crypto check failed: ") + what);
+  }
+}
+
+void run_crypto(Interpreter& vm) {
+  auto& h = vm.heap();
+  // ---- MPN.add_n / sub_n vs host (Figure 22's example kernels) ----
+  {
+    const int limbs = 16;
+    std::vector<std::uint32_t> xs(limbs), ys(limbs);
+    unsigned seed = 5;
+    const Ref xa = h.new_array(ValueType::Int, limbs);
+    const Ref ya = h.new_array(ValueType::Int, limbs);
+    const Ref da = h.new_array(ValueType::Int, limbs);
+    for (int k = 0; k < limbs; ++k) {
+      seed = seed * 1664525u + 1013904223u;
+      xs[static_cast<std::size_t>(k)] = seed;
+      seed = seed * 1664525u + 1013904223u;
+      ys[static_cast<std::size_t>(k)] = seed;
+      h.array_set(xa, k, Value::make_int(static_cast<std::int32_t>(
+                             xs[static_cast<std::size_t>(k)])));
+      h.array_set(ya, k, Value::make_int(static_cast<std::int32_t>(
+                             ys[static_cast<std::size_t>(k)])));
+    }
+    for (int reps = 0; reps < 50; ++reps) {
+      const Value carry = vm.invoke(
+          std::string(kMpn) + ".add_n(AAAI)I",
+          {Value::make_ref(da), Value::make_ref(xa), Value::make_ref(ya),
+           Value::make_int(limbs)});
+      std::uint64_t c = 0;
+      for (int k = 0; k < limbs; ++k) {
+        c += std::uint64_t{xs[static_cast<std::size_t>(k)]} +
+             ys[static_cast<std::size_t>(k)];
+        expect(static_cast<std::uint32_t>(h.array_get(da, k).as_int()) ==
+                   static_cast<std::uint32_t>(c),
+               "MPN.add_n limb");
+        c >>= 32;
+      }
+      expect(static_cast<std::uint32_t>(carry.as_int()) ==
+                 static_cast<std::uint32_t>(c),
+             "MPN.add_n carry");
+      const Value borrow = vm.invoke(
+          std::string(kMpn) + ".sub_n(AAAI)I",
+          {Value::make_ref(da), Value::make_ref(xa), Value::make_ref(ya),
+           Value::make_int(limbs)});
+      std::int64_t b = 0;
+      for (int k = 0; k < limbs; ++k) {
+        const std::int64_t diff =
+            std::int64_t{xs[static_cast<std::size_t>(k)]} -
+            ys[static_cast<std::size_t>(k)] - b;
+        expect(static_cast<std::uint32_t>(h.array_get(da, k).as_int()) ==
+                   static_cast<std::uint32_t>(diff),
+               "MPN.sub_n limb");
+        b = diff < 0 ? 1 : 0;
+      }
+      expect(borrow.as_int() == static_cast<std::int32_t>(b),
+             "MPN.sub_n borrow");
+    }
+  }
+  // ---- MPN.mul + submul_1 vs host 128-limb arithmetic ----
+  const int limbs = 24;
+  std::vector<std::uint32_t> x(limbs), y(limbs);
+  unsigned s = 99;
+  for (int k = 0; k < limbs; ++k) {
+    s = s * 1664525u + 1013904223u;
+    x[static_cast<std::size_t>(k)] = s;
+    s = s * 1664525u + 1013904223u;
+    y[static_cast<std::size_t>(k)] = s;
+  }
+  const Ref xa = h.new_array(ValueType::Int, limbs);
+  const Ref ya = h.new_array(ValueType::Int, limbs);
+  const Ref dest = h.new_array(ValueType::Int, 2 * limbs);
+  for (int k = 0; k < limbs; ++k) {
+    h.array_set(xa, k, Value::make_int(static_cast<std::int32_t>(
+                           x[static_cast<std::size_t>(k)])));
+    h.array_set(ya, k, Value::make_int(static_cast<std::int32_t>(
+                           y[static_cast<std::size_t>(k)])));
+  }
+  for (int reps = 0; reps < 40; ++reps) {
+    vm.invoke(std::string(kMpn) + ".mul(AAIAI)V",
+              {Value::make_ref(dest), Value::make_ref(xa),
+               Value::make_int(limbs), Value::make_ref(ya),
+               Value::make_int(limbs)});
+  }
+  // host schoolbook multiply
+  std::vector<std::uint32_t> want(2 * static_cast<std::size_t>(limbs), 0);
+  for (int i = 0; i < limbs; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < limbs; ++j) {
+      carry += std::uint64_t{x[static_cast<std::size_t>(j)]} *
+                   y[static_cast<std::size_t>(i)] +
+               want[static_cast<std::size_t>(i + j)];
+      want[static_cast<std::size_t>(i + j)] =
+          static_cast<std::uint32_t>(carry);
+      carry >>= 32;
+    }
+    want[static_cast<std::size_t>(i + limbs)] =
+        static_cast<std::uint32_t>(carry);
+  }
+  for (int k = 0; k < 2 * limbs; ++k) {
+    expect(static_cast<std::uint32_t>(h.array_get(dest, k).as_int()) ==
+               want[static_cast<std::size_t>(k)],
+           "MPN.mul limb");
+  }
+  // submul_1: dest -= x * y0  (host check over the low limbs)
+  std::vector<std::uint32_t> before(2 * static_cast<std::size_t>(limbs));
+  for (int k = 0; k < 2 * limbs; ++k) {
+    before[static_cast<std::size_t>(k)] =
+        static_cast<std::uint32_t>(h.array_get(dest, k).as_int());
+  }
+  const std::uint32_t y0 = y[0];
+  for (int reps = 0; reps < 40; ++reps) {
+    vm.invoke(std::string(kMpn) + ".submul_1(AIAII)I",
+              {Value::make_ref(dest), Value::make_int(0),
+               Value::make_ref(xa), Value::make_int(limbs),
+               Value::make_int(static_cast<std::int32_t>(y0))});
+    // host model of one submul_1 application
+    std::uint64_t carry = 0;
+    for (int j = 0; j < limbs; ++j) {
+      carry += std::uint64_t{x[static_cast<std::size_t>(j)]} * y0;
+      const auto prod_low = static_cast<std::uint32_t>(carry);
+      carry >>= 32;
+      const std::uint32_t xj = before[static_cast<std::size_t>(j)];
+      const std::uint32_t diff = xj - prod_low;
+      if (diff > xj) ++carry;
+      before[static_cast<std::size_t>(j)] = diff;
+    }
+    for (int j = 0; j < limbs; ++j) {
+      expect(static_cast<std::uint32_t>(h.array_get(dest, j).as_int()) ==
+                 before[static_cast<std::size_t>(j)],
+             "MPN.submul_1 limb");
+    }
+  }
+
+  // ---- Sha160 vs host ----
+  std::array<std::uint32_t, 5> h1 = {0x67452301, 0xEFCDAB89, 0x98BADCFE,
+                                     0x10325476, 0xC3D2E1F0};
+  const Ref block = h.new_array(ValueType::Int, 16);
+  for (int rounds = 0; rounds < 60; ++rounds) {
+    std::array<std::uint32_t, 16> m;
+    for (int k = 0; k < 16; ++k) {
+      s = s * 22695477u + 1u;
+      m[static_cast<std::size_t>(k)] = s;
+      h.array_set(block, k,
+                  Value::make_int(static_cast<std::int32_t>(s)));
+    }
+    const Value out = vm.invoke(
+        std::string(kSha160) + ".sha(IIIIIA)A",
+        {Value::make_int(static_cast<std::int32_t>(h1[0])),
+         Value::make_int(static_cast<std::int32_t>(h1[1])),
+         Value::make_int(static_cast<std::int32_t>(h1[2])),
+         Value::make_int(static_cast<std::int32_t>(h1[3])),
+         Value::make_int(static_cast<std::int32_t>(h1[4])),
+         Value::make_ref(block)});
+    h1 = host_sha1(h1, m);
+    for (int k = 0; k < 5; ++k) {
+      expect(static_cast<std::uint32_t>(
+                 h.array_get(out.as_ref(), k).as_int()) ==
+                 h1[static_cast<std::size_t>(k)],
+             "Sha160 word");
+    }
+  }
+
+  // ---- Sha256 vs host ----
+  const bytecode::ClassDef& sha256_cls = *vm.program().find_class(kSha256);
+  const Ref ktab = h.new_array(ValueType::Int, 64);
+  for (int k = 0; k < 64; ++k) {
+    h.array_set(ktab, k,
+                Value::make_int(static_cast<std::int32_t>(
+                    kSha256K[static_cast<std::size_t>(k)])));
+  }
+  h.put_static(sha256_cls, *sha256_cls.static_slot("K"),
+               Value::make_ref(ktab));
+  std::array<std::uint32_t, 8> h2 = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                     0x1f83d9ab, 0x5be0cd19};
+  const Ref harr = h.new_array(ValueType::Int, 8);
+  for (int rounds = 0; rounds < 50; ++rounds) {
+    for (int k = 0; k < 8; ++k) {
+      h.array_set(harr, k,
+                  Value::make_int(static_cast<std::int32_t>(
+                      h2[static_cast<std::size_t>(k)])));
+    }
+    std::array<std::uint32_t, 16> m;
+    for (int k = 0; k < 16; ++k) {
+      s = s * 22695477u + 1u;
+      m[static_cast<std::size_t>(k)] = s;
+      h.array_set(block, k, Value::make_int(static_cast<std::int32_t>(s)));
+    }
+    const Value out =
+        vm.invoke(std::string(kSha256) + ".sha(AA)A",
+                  {Value::make_ref(harr), Value::make_ref(block)});
+    h2 = host_sha256(h2, m);
+    for (int k = 0; k < 8; ++k) {
+      expect(static_cast<std::uint32_t>(
+                 h.array_get(out.as_ref(), k).as_int()) ==
+                 h2[static_cast<std::size_t>(k)],
+             "Sha256 word");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Benchmark> make_crypto_benchmarks(Program& p) {
+  build_mpn(p);
+  build_mpn_addsub(p);
+  build_sha160(p);
+  build_sha256(p);
+  return {{"crypto.signverify",
+           "SpecJvm2008",
+           {std::string(kMpn) + ".submul_1(AIAII)I",
+            std::string(kSha160) + ".sha(IIIIIA)A",
+            std::string(kSha256) + ".sha(AA)A",
+            std::string(kMpn) + ".mul(AAIAI)V"},
+           run_crypto}};
+}
+
+}  // namespace javaflow::workloads

@@ -1,0 +1,1041 @@
+// SciMark-analogue kernels: the scientific benchmarks whose top methods
+// dominate the paper's SpecJvm2008 analysis (Table 3): FFT
+// transform_internal/bitreverse, LU factor, MonteCarlo integrate, SOR
+// execute, SparseCompRow matmult, and the shared Random.nextDouble that
+// appears in every scientific benchmark's top-4 list.
+#include <cmath>
+#include <stdexcept>
+
+#include "bytecode/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace javaflow::workloads {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::ClassDef;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+using jvm::Interpreter;
+using jvm::Ref;
+using jvm::Value;
+
+constexpr std::int32_t kM1 = 0x7fffffff;  // 2^31 - 1 (SciMark Random m1)
+constexpr double kDm1 = 1.0 / 2147483647.0;
+
+// ---- scimark.utils.Random -------------------------------------------------
+// Lagged-Fibonacci generator over a 17-entry table, exactly the SciMark
+// shape: the paper's Appendix C walks through this method (Figures 27-31).
+void build_random(Program& p) {
+  p.classes["scimark.utils.Random"] = ClassDef{
+      "scimark.utils.Random",
+      {{"m", ValueType::Ref}, {"i", ValueType::Int}, {"j", ValueType::Int}},
+      {}};
+
+  {
+    // void initialize(int seed):
+    //   m = new int[17];
+    //   int jseed = seed;
+    //   for (int k = 0; k < 17; k++) {
+    //     jseed = (jseed * 9069) & 0x7fffffff;
+    //     m[k] = jseed;
+    //   }
+    //   i = 4; j = 16;
+    Assembler a(p, "scimark.utils.Random.initialize(I)V",
+                "scimark.monte_carlo");
+    a.instance().args({ValueType::Ref, ValueType::Int})
+        .returns(ValueType::Void);
+    const int kThis = 0, kSeed = 1, kK = 2;
+    a.aload(kThis);
+    a.iconst(17).newarray(ValueType::Int);
+    a.putfield("scimark.utils.Random", "m", ValueType::Ref);
+    a.iconst(0).istore(kK);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kK).iconst(17).if_icmpge(done);
+    a.iload(kSeed).iconst(9069).op(Op::imul).iconst(kM1).op(Op::iand)
+        .istore(kSeed);
+    a.aload(kThis).getfield("scimark.utils.Random", "m", ValueType::Ref);
+    a.iload(kK).iload(kSeed).op(Op::iastore);
+    a.iinc(kK, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.aload(kThis).iconst(4)
+        .putfield("scimark.utils.Random", "i", ValueType::Int);
+    a.aload(kThis).iconst(16)
+        .putfield("scimark.utils.Random", "j", ValueType::Int);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+
+  {
+    // double nextDouble():
+    //   int k = m[i] - m[j];
+    //   if (k < 0) k += m1;
+    //   m[j] = k;
+    //   if (i == 0) i = 16; else i--;
+    //   if (j == 0) j = 16; else j--;
+    //   return dm1 * (double)k;
+    Assembler a(p, "scimark.utils.Random.nextDouble()D",
+                "scimark.monte_carlo");
+    a.instance().args({ValueType::Ref}).returns(ValueType::Double);
+    const int kThis = 0, kK = 1;
+    a.aload(kThis).getfield("scimark.utils.Random", "m", ValueType::Ref);
+    a.aload(kThis).getfield("scimark.utils.Random", "i", ValueType::Int);
+    a.op(Op::iaload);
+    a.aload(kThis).getfield("scimark.utils.Random", "m", ValueType::Ref);
+    a.aload(kThis).getfield("scimark.utils.Random", "j", ValueType::Int);
+    a.op(Op::iaload);
+    a.op(Op::isub).istore(kK);
+    auto nonneg = a.new_label();
+    a.iload(kK).ifge(nonneg);
+    a.iload(kK).iconst(kM1).op(Op::iadd).istore(kK);
+    a.bind(nonneg);
+    a.aload(kThis).getfield("scimark.utils.Random", "m", ValueType::Ref);
+    a.aload(kThis).getfield("scimark.utils.Random", "j", ValueType::Int);
+    a.iload(kK).op(Op::iastore);
+    auto idec = a.new_label(), iend = a.new_label();
+    a.aload(kThis).getfield("scimark.utils.Random", "i", ValueType::Int);
+    a.ifne(idec);
+    a.aload(kThis).iconst(16)
+        .putfield("scimark.utils.Random", "i", ValueType::Int);
+    a.goto_(iend);
+    a.bind(idec);
+    a.aload(kThis);
+    a.aload(kThis).getfield("scimark.utils.Random", "i", ValueType::Int);
+    a.iconst(1).op(Op::isub);
+    a.putfield("scimark.utils.Random", "i", ValueType::Int);
+    a.bind(iend);
+    auto jdec = a.new_label(), jend = a.new_label();
+    a.aload(kThis).getfield("scimark.utils.Random", "j", ValueType::Int);
+    a.ifne(jdec);
+    a.aload(kThis).iconst(16)
+        .putfield("scimark.utils.Random", "j", ValueType::Int);
+    a.goto_(jend);
+    a.bind(jdec);
+    a.aload(kThis);
+    a.aload(kThis).getfield("scimark.utils.Random", "j", ValueType::Int);
+    a.iconst(1).op(Op::isub);
+    a.putfield("scimark.utils.Random", "j", ValueType::Int);
+    a.bind(jend);
+    a.dconst(kDm1);
+    a.iload(kK).op(Op::i2d).op(Op::dmul);
+    a.op(Op::dreturn);
+    p.methods.push_back(a.build());
+  }
+}
+
+// ---- scimark.utils.kernel (static helpers) --------------------------------
+void build_kernel_utils(Program& p) {
+  {
+    // static double[] RandomVector(int n, Random r):
+    //   double[] x = new double[n];
+    //   for (int i = 0; i < n; i++) x[i] = r.nextDouble();
+    //   return x;
+    Assembler a(p, "scimark.utils.kernel.RandomVector(IA)A",
+                "scimark.sparse.large");
+    a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Ref);
+    const int kN = 0, kR = 1, kX = 2, kI = 3;
+    a.iload(kN).newarray(ValueType::Double).astore(kX);
+    a.iconst(0).istore(kI);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kN).if_icmpge(done);
+    a.aload(kX).iload(kI);
+    a.aload(kR);
+    a.invokevirtual("scimark.utils.Random.nextDouble()D", 1,
+                    ValueType::Double);
+    a.op(Op::dastore);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.aload(kX).op(Op::areturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void RandomizeMatrix(double[][] A, Random r)
+    Assembler a(p, "scimark.utils.kernel.RandomizeMatrix(AA)V",
+                "scimark.sor.large");
+    a.args({ValueType::Ref, ValueType::Ref}).returns(ValueType::Void);
+    const int kA = 0, kR = 1, kI = 2, kJ = 3, kRow = 4;
+    a.iconst(0).istore(kI);
+    auto ihead = a.new_label(), idone = a.new_label();
+    a.bind(ihead);
+    a.iload(kI).aload(kA).op(Op::arraylength).if_icmpge(idone);
+    a.aload(kA).iload(kI).op(Op::aaload).astore(kRow);
+    a.iconst(0).istore(kJ);
+    auto jhead = a.new_label(), jdone = a.new_label();
+    a.bind(jhead);
+    a.iload(kJ).aload(kRow).op(Op::arraylength).if_icmpge(jdone);
+    a.aload(kRow).iload(kJ);
+    a.aload(kR);
+    a.invokevirtual("scimark.utils.Random.nextDouble()D", 1,
+                    ValueType::Double);
+    a.op(Op::dastore);
+    a.iinc(kJ, 1);
+    a.goto_(jhead);
+    a.bind(jdone);
+    a.iinc(kI, 1);
+    a.goto_(ihead);
+    a.bind(idone);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void CopyMatrix(double[][] B, double[][] A)  (B <- A)
+    Assembler a(p, "scimark.utils.kernel.CopyMatrix(AA)V",
+                "scimark.lu.large");
+    a.args({ValueType::Ref, ValueType::Ref}).returns(ValueType::Void);
+    const int kB = 0, kA = 1, kI = 2, kJ = 3, kBrow = 4, kArow = 5;
+    a.iconst(0).istore(kI);
+    auto ihead = a.new_label(), idone = a.new_label();
+    a.bind(ihead);
+    a.iload(kI).aload(kA).op(Op::arraylength).if_icmpge(idone);
+    a.aload(kB).iload(kI).op(Op::aaload).astore(kBrow);
+    a.aload(kA).iload(kI).op(Op::aaload).astore(kArow);
+    a.iconst(0).istore(kJ);
+    auto jhead = a.new_label(), jdone = a.new_label();
+    a.bind(jhead);
+    a.iload(kJ).aload(kArow).op(Op::arraylength).if_icmpge(jdone);
+    a.aload(kBrow).iload(kJ);
+    a.aload(kArow).iload(kJ).op(Op::daload);
+    a.op(Op::dastore);
+    a.iinc(kJ, 1);
+    a.goto_(jhead);
+    a.bind(jdone);
+    a.iinc(kI, 1);
+    a.goto_(ihead);
+    a.bind(idone);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void matvec(double[][] A, double[] x, double[] y)  (y = A x)
+    Assembler a(p, "scimark.utils.kernel.matvec(AAA)V", "scimark.lu.large");
+    a.args({ValueType::Ref, ValueType::Ref, ValueType::Ref})
+        .returns(ValueType::Void);
+    const int kA = 0, kX = 1, kY = 2, kI = 3, kJ = 4, kRow = 7;
+    const int kSum = 5;  // double local
+    a.iconst(0).istore(kI);
+    auto ihead = a.new_label(), idone = a.new_label();
+    a.bind(ihead);
+    a.iload(kI).aload(kA).op(Op::arraylength).if_icmpge(idone);
+    a.dconst(0.0).dstore(kSum);
+    a.aload(kA).iload(kI).op(Op::aaload).astore(kRow);
+    a.iconst(0).istore(kJ);
+    auto jhead = a.new_label(), jdone = a.new_label();
+    a.bind(jhead);
+    a.iload(kJ).aload(kRow).op(Op::arraylength).if_icmpge(jdone);
+    a.dload(kSum);
+    a.aload(kRow).iload(kJ).op(Op::daload);
+    a.aload(kX).iload(kJ).op(Op::daload);
+    a.op(Op::dmul).op(Op::dadd).dstore(kSum);
+    a.iinc(kJ, 1);
+    a.goto_(jhead);
+    a.bind(jdone);
+    a.aload(kY).iload(kI).dload(kSum).op(Op::dastore);
+    a.iinc(kI, 1);
+    a.goto_(ihead);
+    a.bind(idone);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+}
+
+// ---- scimark.fft.FFT -------------------------------------------------------
+void build_fft(Program& p) {
+  {
+    // static int log2(int n)
+    Assembler a(p, "scimark.fft.FFT.log2(I)I", "scimark.fft.large");
+    a.args({ValueType::Int}).returns(ValueType::Int);
+    const int kN = 0, kLog = 1, kK = 2;
+    a.iconst(0).istore(kLog);
+    a.iconst(1).istore(kK);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kK).iload(kN).if_icmpge(done);
+    a.iload(kK).iconst(2).op(Op::imul).istore(kK);
+    a.iinc(kLog, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.iload(kLog).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void bitreverse(double[] data):
+    //   int n = data.length / 2;
+    //   for (int i = 0, j = 0; i < n - 1; i++) {
+    //     int ii = 2*i, jj = 2*j, k = n / 2;
+    //     if (i < j) { swap data[ii]<->data[jj]; data[ii+1]<->data[jj+1]; }
+    //     while (k <= j) { j -= k; k /= 2; }
+    //     j += k;
+    //   }
+    Assembler a(p, "scimark.fft.FFT.bitreverse(A)V", "scimark.fft.large");
+    a.args({ValueType::Ref}).returns(ValueType::Void);
+    const int kData = 0, kN = 1, kI = 2, kJ = 3, kII = 4, kJJ = 5, kK = 6;
+    const int kT = 7;  // double temp
+    a.aload(kData).op(Op::arraylength).iconst(2).op(Op::idiv).istore(kN);
+    a.iconst(0).istore(kI);
+    a.iconst(0).istore(kJ);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kN).iconst(1).op(Op::isub).if_icmpge(done);
+    a.iload(kI).iconst(2).op(Op::imul).istore(kII);
+    a.iload(kJ).iconst(2).op(Op::imul).istore(kJJ);
+    a.iload(kN).iconst(2).op(Op::idiv).istore(kK);
+    auto noswap = a.new_label();
+    a.iload(kI).iload(kJ).if_icmpge(noswap);
+    // swap real parts
+    a.aload(kData).iload(kII).op(Op::daload).dstore(kT);
+    a.aload(kData).iload(kII);
+    a.aload(kData).iload(kJJ).op(Op::daload);
+    a.op(Op::dastore);
+    a.aload(kData).iload(kJJ).dload(kT).op(Op::dastore);
+    // swap imaginary parts
+    a.aload(kData).iload(kII).iconst(1).op(Op::iadd).op(Op::daload)
+        .dstore(kT);
+    a.aload(kData).iload(kII).iconst(1).op(Op::iadd);
+    a.aload(kData).iload(kJJ).iconst(1).op(Op::iadd).op(Op::daload);
+    a.op(Op::dastore);
+    a.aload(kData).iload(kJJ).iconst(1).op(Op::iadd).dload(kT)
+        .op(Op::dastore);
+    a.bind(noswap);
+    auto whead = a.new_label(), wdone = a.new_label();
+    a.bind(whead);
+    a.iload(kK).iload(kJ).if_icmpgt(wdone);
+    a.iload(kJ).iload(kK).op(Op::isub).istore(kJ);
+    a.iload(kK).iconst(2).op(Op::idiv).istore(kK);
+    a.goto_(whead);
+    a.bind(wdone);
+    a.iload(kJ).iload(kK).op(Op::iadd).istore(kJ);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void transform_internal(double[] data, int direction) —
+    // radix-2 decimation-in-time FFT, the SciMark structure.
+    Assembler a(p, "scimark.fft.FFT.transform_internal(AI)V",
+                "scimark.fft.large");
+    a.args({ValueType::Ref, ValueType::Int}).returns(ValueType::Void);
+    const int kData = 0, kDir = 1, kN = 2, kLogn = 3, kBit = 4, kDual = 5;
+    const int kB = 6, kA = 7, kI = 8, kJ = 9;
+    // double locals
+    const int kWr = 10, kWi = 11, kTheta = 12, kS = 13, kS2 = 14;
+    const int kWdr = 15, kWdi = 16, kZ1r = 17, kZ1i = 18, kTmp = 19;
+    a.locals(20);
+
+    // n = data.length / 2; if (n == 1) return;
+    a.aload(kData).op(Op::arraylength).iconst(2).op(Op::idiv).istore(kN);
+    auto not_trivial = a.new_label();
+    a.iload(kN).iconst(1).if_icmpne(not_trivial);
+    a.op(Op::return_);
+    a.bind(not_trivial);
+    // logn = log2(n); bitreverse(data);
+    a.iload(kN);
+    a.invokestatic("scimark.fft.FFT.log2(I)I", 1, ValueType::Int);
+    a.istore(kLogn);
+    a.aload(kData);
+    a.invokestatic("scimark.fft.FFT.bitreverse(A)V", 1, ValueType::Void);
+
+    // for (bit = 0, dual = 1; bit < logn; bit++, dual *= 2)
+    a.iconst(0).istore(kBit);
+    a.iconst(1).istore(kDual);
+    auto bit_head = a.new_label(), bit_done = a.new_label();
+    a.bind(bit_head);
+    a.iload(kBit).iload(kLogn).if_icmpge(bit_done);
+
+    //   w_real = 1; w_imag = 0;
+    a.dconst(1.0).dstore(kWr);
+    a.dconst(0.0).dstore(kWi);
+    //   theta = 2.0 * direction * PI / (2.0 * dual);
+    a.dconst(2.0).iload(kDir).op(Op::i2d).op(Op::dmul);
+    a.dconst(3.14159265358979323846).op(Op::dmul);
+    a.dconst(2.0).iload(kDual).op(Op::i2d).op(Op::dmul).op(Op::ddiv);
+    a.dstore(kTheta);
+    //   s = sin(theta); t = sin(theta/2); s2 = 2*t*t;
+    a.dload(kTheta);
+    a.invokestatic("java.lang.Math.sin(D)D", 1, ValueType::Double);
+    a.dstore(kS);
+    a.dload(kTheta).dconst(2.0).op(Op::ddiv);
+    a.invokestatic("java.lang.Math.sin(D)D", 1, ValueType::Double);
+    a.dstore(kTmp);
+    a.dconst(2.0).dload(kTmp).op(Op::dmul).dload(kTmp).op(Op::dmul)
+        .dstore(kS2);
+
+    //   a == 0 butterflies: for (b = 0; b < n; b += 2*dual)
+    a.iconst(0).istore(kB);
+    auto b0_head = a.new_label(), b0_done = a.new_label();
+    a.bind(b0_head);
+    a.iload(kB).iload(kN).if_icmpge(b0_done);
+    //     i = 2*b; j = 2*(b+dual);
+    a.iload(kB).iconst(2).op(Op::imul).istore(kI);
+    a.iload(kB).iload(kDual).op(Op::iadd).iconst(2).op(Op::imul).istore(kJ);
+    //     wd_real = data[j]; wd_imag = data[j+1];
+    a.aload(kData).iload(kJ).op(Op::daload).dstore(kWdr);
+    a.aload(kData).iload(kJ).iconst(1).op(Op::iadd).op(Op::daload)
+        .dstore(kWdi);
+    //     data[j]   = data[i]   - wd_real;
+    a.aload(kData).iload(kJ);
+    a.aload(kData).iload(kI).op(Op::daload).dload(kWdr).op(Op::dsub);
+    a.op(Op::dastore);
+    //     data[j+1] = data[i+1] - wd_imag;
+    a.aload(kData).iload(kJ).iconst(1).op(Op::iadd);
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd).op(Op::daload);
+    a.dload(kWdi).op(Op::dsub);
+    a.op(Op::dastore);
+    //     data[i]   += wd_real;
+    a.aload(kData).iload(kI);
+    a.aload(kData).iload(kI).op(Op::daload).dload(kWdr).op(Op::dadd);
+    a.op(Op::dastore);
+    //     data[i+1] += wd_imag;
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd);
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd).op(Op::daload);
+    a.dload(kWdi).op(Op::dadd);
+    a.op(Op::dastore);
+    //     b += 2*dual
+    a.iload(kB).iconst(2).iload(kDual).op(Op::imul).op(Op::iadd).istore(kB);
+    a.goto_(b0_head);
+    a.bind(b0_done);
+
+    //   for (a = 1; a < dual; a++)
+    a.iconst(1).istore(kA);
+    auto a_head = a.new_label(), a_done = a.new_label();
+    a.bind(a_head);
+    a.iload(kA).iload(kDual).if_icmpge(a_done);
+    //     { tmp = w_real - s*w_imag - s2*w_real;
+    //       w_imag = w_imag + s*w_real - s2*w_imag;
+    //       w_real = tmp; }
+    a.dload(kWr);
+    a.dload(kS).dload(kWi).op(Op::dmul).op(Op::dsub);
+    a.dload(kS2).dload(kWr).op(Op::dmul).op(Op::dsub);
+    a.dstore(kTmp);
+    a.dload(kWi);
+    a.dload(kS).dload(kWr).op(Op::dmul).op(Op::dadd);
+    a.dload(kS2).dload(kWi).op(Op::dmul).op(Op::dsub);
+    a.dstore(kWi);
+    a.dload(kTmp).dstore(kWr);
+    //     for (b = 0; b < n; b += 2*dual)
+    a.iconst(0).istore(kB);
+    auto b_head = a.new_label(), b_done = a.new_label();
+    a.bind(b_head);
+    a.iload(kB).iload(kN).if_icmpge(b_done);
+    //       i = 2*(b+a); j = 2*(b+a+dual);
+    a.iload(kB).iload(kA).op(Op::iadd).iconst(2).op(Op::imul).istore(kI);
+    a.iload(kB).iload(kA).op(Op::iadd).iload(kDual).op(Op::iadd);
+    a.iconst(2).op(Op::imul).istore(kJ);
+    //       z1_real = data[j]; z1_imag = data[j+1];
+    a.aload(kData).iload(kJ).op(Op::daload).dstore(kZ1r);
+    a.aload(kData).iload(kJ).iconst(1).op(Op::iadd).op(Op::daload)
+        .dstore(kZ1i);
+    //       wd_real = w_real*z1_real - w_imag*z1_imag;
+    a.dload(kWr).dload(kZ1r).op(Op::dmul);
+    a.dload(kWi).dload(kZ1i).op(Op::dmul);
+    a.op(Op::dsub).dstore(kWdr);
+    //       wd_imag = w_real*z1_imag + w_imag*z1_real;
+    a.dload(kWr).dload(kZ1i).op(Op::dmul);
+    a.dload(kWi).dload(kZ1r).op(Op::dmul);
+    a.op(Op::dadd).dstore(kWdi);
+    //       data[j]   = data[i]   - wd_real;
+    a.aload(kData).iload(kJ);
+    a.aload(kData).iload(kI).op(Op::daload).dload(kWdr).op(Op::dsub);
+    a.op(Op::dastore);
+    //       data[j+1] = data[i+1] - wd_imag;
+    a.aload(kData).iload(kJ).iconst(1).op(Op::iadd);
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd).op(Op::daload);
+    a.dload(kWdi).op(Op::dsub);
+    a.op(Op::dastore);
+    //       data[i]   += wd_real;
+    a.aload(kData).iload(kI);
+    a.aload(kData).iload(kI).op(Op::daload).dload(kWdr).op(Op::dadd);
+    a.op(Op::dastore);
+    //       data[i+1] += wd_imag;
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd);
+    a.aload(kData).iload(kI).iconst(1).op(Op::iadd).op(Op::daload);
+    a.dload(kWdi).op(Op::dadd);
+    a.op(Op::dastore);
+    //       b += 2*dual
+    a.iload(kB).iconst(2).iload(kDual).op(Op::imul).op(Op::iadd).istore(kB);
+    a.goto_(b_head);
+    a.bind(b_done);
+    a.iinc(kA, 1);
+    a.goto_(a_head);
+    a.bind(a_done);
+
+    //   bit++, dual *= 2
+    a.iinc(kBit, 1);
+    a.iload(kDual).iconst(2).op(Op::imul).istore(kDual);
+    a.goto_(bit_head);
+    a.bind(bit_done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void transform(double[] data)
+    Assembler a(p, "scimark.fft.FFT.transform(A)V", "scimark.fft.large");
+    a.args({ValueType::Ref}).returns(ValueType::Void);
+    a.aload(0).iconst(-1);
+    a.invokestatic("scimark.fft.FFT.transform_internal(AI)V", 2,
+                   ValueType::Void);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+  {
+    // static void inverse(double[] data):
+    //   transform_internal(data, +1);
+    //   int nd = data.length; int n = nd / 2;
+    //   double norm = 1.0 / n;
+    //   for (int i = 0; i < nd; i++) data[i] *= norm;
+    Assembler a(p, "scimark.fft.FFT.inverse(A)V", "scimark.fft.large");
+    a.args({ValueType::Ref}).returns(ValueType::Void);
+    const int kData = 0, kNd = 1, kI = 2, kNorm = 3;
+    a.aload(kData).iconst(1);
+    a.invokestatic("scimark.fft.FFT.transform_internal(AI)V", 2,
+                   ValueType::Void);
+    a.aload(kData).op(Op::arraylength).istore(kNd);
+    a.dconst(1.0);
+    a.iload(kNd).iconst(2).op(Op::idiv).op(Op::i2d);
+    a.op(Op::ddiv).dstore(kNorm);
+    a.iconst(0).istore(kI);
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kNd).if_icmpge(done);
+    a.aload(kData).iload(kI);
+    a.aload(kData).iload(kI).op(Op::daload).dload(kNorm).op(Op::dmul);
+    a.op(Op::dastore);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+    a.op(Op::return_);
+    p.methods.push_back(a.build());
+  }
+}
+
+// ---- scimark.lu.LU ---------------------------------------------------------
+void build_lu(Program& p) {
+  // static int factor(double[][] A, int[] pivot) — in-place partial-pivot
+  // LU, the 99 %-of-cycles method of scimark.lu (Table 3).
+  Assembler a(p, "scimark.lu.LU.factor(AA)I", "scimark.lu.large");
+  a.args({ValueType::Ref, ValueType::Ref}).returns(ValueType::Int);
+  const int kA = 0, kPiv = 1, kM = 2, kJ = 3, kJp = 4, kI = 5, kK = 6;
+  const int kT = 7, kAb = 9, kRecp = 11;           // doubles
+  const int kRowJ = 13, kRowI = 14, kJJ = 15;
+  const int kAiiJ = 16;                            // double
+  a.locals(18);
+
+  a.aload(kA).op(Op::arraylength).istore(kM);
+  a.iconst(0).istore(kJ);
+  auto j_head = a.new_label(), j_done = a.new_label();
+  a.bind(j_head);
+  a.iload(kJ).iload(kM).if_icmpge(j_done);
+
+  // jp = j; t = |A[j][j]|
+  a.iload(kJ).istore(kJp);
+  a.aload(kA).iload(kJ).op(Op::aaload).iload(kJ).op(Op::daload);
+  a.invokestatic("java.lang.Math.abs(D)D", 1, ValueType::Double);
+  a.dstore(kT);
+  // pivot search
+  a.iload(kJ).iconst(1).op(Op::iadd).istore(kI);
+  auto p_head = a.new_label(), p_done = a.new_label();
+  a.bind(p_head);
+  a.iload(kI).iload(kM).if_icmpge(p_done);
+  a.aload(kA).iload(kI).op(Op::aaload).iload(kJ).op(Op::daload);
+  a.invokestatic("java.lang.Math.abs(D)D", 1, ValueType::Double);
+  a.dstore(kAb);
+  auto no_better = a.new_label();
+  a.dload(kAb).dload(kT).op(Op::dcmpl).ifle(no_better);
+  a.iload(kI).istore(kJp);
+  a.dload(kAb).dstore(kT);
+  a.bind(no_better);
+  a.iinc(kI, 1);
+  a.goto_(p_head);
+  a.bind(p_done);
+  // pivot[j] = jp
+  a.aload(kPiv).iload(kJ).iload(kJp).op(Op::iastore);
+  // if (A[jp][j] == 0) return 1;
+  auto nonzero = a.new_label();
+  a.aload(kA).iload(kJp).op(Op::aaload).iload(kJ).op(Op::daload);
+  a.dconst(0.0).op(Op::dcmpl).ifne(nonzero);
+  a.iconst(1).op(Op::ireturn);
+  a.bind(nonzero);
+  // if (jp != j) swap rows
+  auto no_swap = a.new_label();
+  a.iload(kJp).iload(kJ).if_icmpeq(no_swap);
+  a.aload(kA).iload(kJ).op(Op::aaload).astore(kRowJ);
+  a.aload(kA).iload(kJ);
+  a.aload(kA).iload(kJp).op(Op::aaload);
+  a.op(Op::aastore);
+  a.aload(kA).iload(kJp).aload(kRowJ).op(Op::aastore);
+  a.bind(no_swap);
+  // if (j < M-1) scale column below diagonal
+  auto no_scale = a.new_label();
+  a.iload(kJ).iload(kM).iconst(1).op(Op::isub).if_icmpge(no_scale);
+  a.dconst(1.0);
+  a.aload(kA).iload(kJ).op(Op::aaload).iload(kJ).op(Op::daload);
+  a.op(Op::ddiv).dstore(kRecp);
+  a.iload(kJ).iconst(1).op(Op::iadd).istore(kK);
+  auto s_head = a.new_label(), s_done = a.new_label();
+  a.bind(s_head);
+  a.iload(kK).iload(kM).if_icmpge(s_done);
+  a.aload(kA).iload(kK).op(Op::aaload).iload(kJ);
+  a.aload(kA).iload(kK).op(Op::aaload).iload(kJ).op(Op::daload);
+  a.dload(kRecp).op(Op::dmul);
+  a.op(Op::dastore);
+  a.iinc(kK, 1);
+  a.goto_(s_head);
+  a.bind(s_done);
+  a.bind(no_scale);
+  // if (j < M-1) trailing update
+  auto no_update = a.new_label();
+  a.iload(kJ).iload(kM).iconst(1).op(Op::isub).if_icmpge(no_update);
+  a.iload(kJ).iconst(1).op(Op::iadd).istore(kI);
+  auto u_head = a.new_label(), u_done = a.new_label();
+  a.bind(u_head);
+  a.iload(kI).iload(kM).if_icmpge(u_done);
+  a.aload(kA).iload(kI).op(Op::aaload).astore(kRowI);
+  a.aload(kA).iload(kJ).op(Op::aaload).astore(kRowJ);
+  a.aload(kRowI).iload(kJ).op(Op::daload).dstore(kAiiJ);
+  a.iload(kJ).iconst(1).op(Op::iadd).istore(kJJ);
+  auto v_head = a.new_label(), v_done = a.new_label();
+  a.bind(v_head);
+  a.iload(kJJ).iload(kM).if_icmpge(v_done);
+  a.aload(kRowI).iload(kJJ);
+  a.aload(kRowI).iload(kJJ).op(Op::daload);
+  a.dload(kAiiJ).aload(kRowJ).iload(kJJ).op(Op::daload).op(Op::dmul);
+  a.op(Op::dsub);
+  a.op(Op::dastore);
+  a.iinc(kJJ, 1);
+  a.goto_(v_head);
+  a.bind(v_done);
+  a.iinc(kI, 1);
+  a.goto_(u_head);
+  a.bind(u_done);
+  a.bind(no_update);
+
+  a.iinc(kJ, 1);
+  a.goto_(j_head);
+  a.bind(j_done);
+  a.iconst(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+}
+
+void build_lu_solve(Program& p) {
+  // static void solve(double[][] LU, int[] pivot, double[] b): apply the
+  // pivot, then unit-lower forward substitution and upper back
+  // substitution — LU.factor's companion method.
+  Assembler a(p, "scimark.lu.LU.solve(AAA)V", "scimark.lu.large");
+  a.args({ValueType::Ref, ValueType::Ref, ValueType::Ref})
+      .returns(ValueType::Void);
+  const int kLU = 0, kPvt = 1, kB = 2, kN = 3, kI = 4, kJ = 5, kP = 6;
+  const int kT = 7, kSum = 9;  // doubles
+  const int kRow = 11;
+  a.locals(12);
+
+  a.aload(kLU).op(Op::arraylength).istore(kN);
+  // pivot application
+  a.iconst(0).istore(kI);
+  {
+    auto head = a.new_label(), done = a.new_label();
+    a.bind(head);
+    a.iload(kI).iload(kN).if_icmpge(done);
+    a.aload(kPvt).iload(kI).op(Op::iaload).istore(kP);
+    a.aload(kB).iload(kP).op(Op::daload).dstore(kT);
+    a.aload(kB).iload(kP);
+    a.aload(kB).iload(kI).op(Op::daload);
+    a.op(Op::dastore);
+    a.aload(kB).iload(kI).dload(kT).op(Op::dastore);
+    a.iinc(kI, 1);
+    a.goto_(head);
+    a.bind(done);
+  }
+  // forward substitution (unit diagonal)
+  a.iconst(1).istore(kI);
+  {
+    auto ih = a.new_label(), id = a.new_label();
+    a.bind(ih);
+    a.iload(kI).iload(kN).if_icmpge(id);
+    a.aload(kB).iload(kI).op(Op::daload).dstore(kSum);
+    a.aload(kLU).iload(kI).op(Op::aaload).astore(kRow);
+    a.iconst(0).istore(kJ);
+    auto jh = a.new_label(), jd = a.new_label();
+    a.bind(jh);
+    a.iload(kJ).iload(kI).if_icmpge(jd);
+    a.dload(kSum);
+    a.aload(kRow).iload(kJ).op(Op::daload);
+    a.aload(kB).iload(kJ).op(Op::daload);
+    a.op(Op::dmul).op(Op::dsub).dstore(kSum);
+    a.iinc(kJ, 1);
+    a.goto_(jh);
+    a.bind(jd);
+    a.aload(kB).iload(kI).dload(kSum).op(Op::dastore);
+    a.iinc(kI, 1);
+    a.goto_(ih);
+    a.bind(id);
+  }
+  // back substitution
+  a.iload(kN).iconst(1).op(Op::isub).istore(kI);
+  {
+    auto ih = a.new_label(), id = a.new_label();
+    a.bind(ih);
+    a.iload(kI).iflt(id);
+    a.aload(kB).iload(kI).op(Op::daload).dstore(kSum);
+    a.aload(kLU).iload(kI).op(Op::aaload).astore(kRow);
+    a.iload(kI).iconst(1).op(Op::iadd).istore(kJ);
+    auto jh = a.new_label(), jd = a.new_label();
+    a.bind(jh);
+    a.iload(kJ).iload(kN).if_icmpge(jd);
+    a.dload(kSum);
+    a.aload(kRow).iload(kJ).op(Op::daload);
+    a.aload(kB).iload(kJ).op(Op::daload);
+    a.op(Op::dmul).op(Op::dsub).dstore(kSum);
+    a.iinc(kJ, 1);
+    a.goto_(jh);
+    a.bind(jd);
+    a.aload(kB).iload(kI);
+    a.dload(kSum);
+    a.aload(kRow).iload(kI).op(Op::daload);
+    a.op(Op::ddiv);
+    a.op(Op::dastore);
+    a.iinc(kI, -1);
+    a.goto_(ih);
+    a.bind(id);
+  }
+  a.op(Op::return_);
+  p.methods.push_back(a.build());
+}
+
+// ---- scimark.sor.SOR -------------------------------------------------------
+void build_sor(Program& p) {
+  // static double execute(double omega, double[][] G, int num_iterations)
+  Assembler a(p, "scimark.sor.SOR.execute(DAI)D", "scimark.sor.large");
+  a.args({ValueType::Double, ValueType::Ref, ValueType::Int})
+      .returns(ValueType::Double);
+  const int kOmega = 0, kG = 1, kNum = 2, kM = 3, kN = 4, kP = 5, kI = 6;
+  const int kJ = 7, kGi = 8, kGim1 = 9, kGip1 = 10;
+  const int kOof = 11, kOmo = 13;  // doubles: omega/4, 1-omega
+  a.locals(15);
+
+  a.aload(kG).op(Op::arraylength).istore(kM);
+  a.aload(kG).iconst(0).op(Op::aaload).op(Op::arraylength).istore(kN);
+  // omega_over_four = omega * 0.25
+  a.dload(kOmega).dconst(0.25).op(Op::dmul).dstore(kOof);
+  // one_minus_omega = 1.0 - omega
+  a.dconst(1.0).dload(kOmega).op(Op::dsub).dstore(kOmo);
+
+  a.iconst(0).istore(kP);
+  auto p_head = a.new_label(), p_done = a.new_label();
+  a.bind(p_head);
+  a.iload(kP).iload(kNum).if_icmpge(p_done);
+  a.iconst(1).istore(kI);
+  auto i_head = a.new_label(), i_done = a.new_label();
+  a.bind(i_head);
+  a.iload(kI).iload(kM).iconst(1).op(Op::isub).if_icmpge(i_done);
+  a.aload(kG).iload(kI).op(Op::aaload).astore(kGi);
+  a.aload(kG).iload(kI).iconst(1).op(Op::isub).op(Op::aaload).astore(kGim1);
+  a.aload(kG).iload(kI).iconst(1).op(Op::iadd).op(Op::aaload).astore(kGip1);
+  a.iconst(1).istore(kJ);
+  auto j_head = a.new_label(), j_done = a.new_label();
+  a.bind(j_head);
+  a.iload(kJ).iload(kN).iconst(1).op(Op::isub).if_icmpge(j_done);
+  // Gi[j] = oof*(Gim1[j]+Gip1[j]+Gi[j-1]+Gi[j+1]) + omo*Gi[j]
+  a.aload(kGi).iload(kJ);
+  a.dload(kOof);
+  a.aload(kGim1).iload(kJ).op(Op::daload);
+  a.aload(kGip1).iload(kJ).op(Op::daload);
+  a.op(Op::dadd);
+  a.aload(kGi).iload(kJ).iconst(1).op(Op::isub).op(Op::daload);
+  a.op(Op::dadd);
+  a.aload(kGi).iload(kJ).iconst(1).op(Op::iadd).op(Op::daload);
+  a.op(Op::dadd);
+  a.op(Op::dmul);
+  a.dload(kOmo).aload(kGi).iload(kJ).op(Op::daload).op(Op::dmul);
+  a.op(Op::dadd);
+  a.op(Op::dastore);
+  a.iinc(kJ, 1);
+  a.goto_(j_head);
+  a.bind(j_done);
+  a.iinc(kI, 1);
+  a.goto_(i_head);
+  a.bind(i_done);
+  a.iinc(kP, 1);
+  a.goto_(p_head);
+  a.bind(p_done);
+  a.aload(kG).iconst(1).op(Op::aaload).iconst(1).op(Op::daload);
+  a.op(Op::dreturn);
+  p.methods.push_back(a.build());
+}
+
+// ---- scimark.sparse.SparseCompRow ------------------------------------------
+void build_sparse(Program& p) {
+  // static void matmult(double[] y, double[] val, int[] row, int[] col,
+  //                     double[] x, int NUM_ITERATIONS)
+  Assembler a(p, "scimark.sparse.SparseCompRow.matmult(AAAAAI)V",
+              "scimark.sparse.large");
+  a.args({ValueType::Ref, ValueType::Ref, ValueType::Ref, ValueType::Ref,
+          ValueType::Ref, ValueType::Int})
+      .returns(ValueType::Void);
+  const int kY = 0, kVal = 1, kRow = 2, kCol = 3, kX = 4, kIters = 5;
+  const int kM = 6, kReps = 7, kR = 8, kRowR = 9, kRowRp1 = 10, kI = 11;
+  const int kSum = 12;  // double
+  a.locals(14);
+
+  a.aload(kRow).op(Op::arraylength).iconst(1).op(Op::isub).istore(kM);
+  a.iconst(0).istore(kReps);
+  auto reps_head = a.new_label(), reps_done = a.new_label();
+  a.bind(reps_head);
+  a.iload(kReps).iload(kIters).if_icmpge(reps_done);
+  a.iconst(0).istore(kR);
+  auto r_head = a.new_label(), r_done = a.new_label();
+  a.bind(r_head);
+  a.iload(kR).iload(kM).if_icmpge(r_done);
+  a.dconst(0.0).dstore(kSum);
+  a.aload(kRow).iload(kR).op(Op::iaload).istore(kRowR);
+  a.aload(kRow).iload(kR).iconst(1).op(Op::iadd).op(Op::iaload)
+      .istore(kRowRp1);
+  a.iload(kRowR).istore(kI);
+  auto i_head = a.new_label(), i_done = a.new_label();
+  a.bind(i_head);
+  a.iload(kI).iload(kRowRp1).if_icmpge(i_done);
+  a.dload(kSum);
+  a.aload(kX);
+  a.aload(kCol).iload(kI).op(Op::iaload);
+  a.op(Op::daload);
+  a.aload(kVal).iload(kI).op(Op::daload);
+  a.op(Op::dmul).op(Op::dadd).dstore(kSum);
+  a.iinc(kI, 1);
+  a.goto_(i_head);
+  a.bind(i_done);
+  a.aload(kY).iload(kR).dload(kSum).op(Op::dastore);
+  a.iinc(kR, 1);
+  a.goto_(r_head);
+  a.bind(r_done);
+  a.iinc(kReps, 1);
+  a.goto_(reps_head);
+  a.bind(reps_done);
+  a.op(Op::return_);
+  p.methods.push_back(a.build());
+}
+
+// ---- scimark.monte_carlo.MonteCarlo ----------------------------------------
+void build_monte_carlo(Program& p) {
+  // static double integrate(int numSamples) — pi by dartboard.
+  Assembler a(p, "scimark.monte_carlo.MonteCarlo.integrate(I)D",
+              "scimark.monte_carlo");
+  a.args({ValueType::Int}).returns(ValueType::Double);
+  const int kNum = 0, kRnd = 1, kUnder = 2, kC = 3;
+  const int kX = 4, kY = 6;  // doubles
+  a.locals(8);
+  a.new_object("scimark.utils.Random").astore(kRnd);
+  a.aload(kRnd).iconst(113);
+  a.invokevirtual("scimark.utils.Random.initialize(I)V", 2, ValueType::Void);
+  a.iconst(0).istore(kUnder);
+  a.iconst(0).istore(kC);
+  auto head = a.new_label(), done = a.new_label();
+  a.bind(head);
+  a.iload(kC).iload(kNum).if_icmpge(done);
+  a.aload(kRnd);
+  a.invokevirtual("scimark.utils.Random.nextDouble()D", 1,
+                  ValueType::Double);
+  a.dstore(kX);
+  a.aload(kRnd);
+  a.invokevirtual("scimark.utils.Random.nextDouble()D", 1,
+                  ValueType::Double);
+  a.dstore(kY);
+  auto miss = a.new_label();
+  a.dload(kX).dload(kX).op(Op::dmul);
+  a.dload(kY).dload(kY).op(Op::dmul);
+  a.op(Op::dadd);
+  a.dconst(1.0).op(Op::dcmpg).ifgt(miss);
+  a.iinc(kUnder, 1);
+  a.bind(miss);
+  a.iinc(kC, 1);
+  a.goto_(head);
+  a.bind(done);
+  a.dconst(4.0);
+  a.iload(kUnder).op(Op::i2d).op(Op::dmul);
+  a.iload(kNum).op(Op::i2d).op(Op::ddiv);
+  a.op(Op::dreturn);
+  p.methods.push_back(a.build());
+}
+
+// ---- drivers ---------------------------------------------------------------
+
+Ref make_random(Interpreter& vm, int seed) {
+  const Ref rnd =
+      vm.heap().new_object(*vm.program().find_class("scimark.utils.Random"));
+  vm.invoke("scimark.utils.Random.initialize(I)V",
+            {Value::make_ref(rnd), Value::make_int(seed)});
+  return rnd;
+}
+
+void expect(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("workload check failed: ") +
+                                    what);
+}
+
+void run_fft(Interpreter& vm) {
+  const Ref rnd = make_random(vm, 113);
+  const Value data = vm.invoke(
+      "scimark.utils.kernel.RandomVector(IA)A",
+      {Value::make_int(2 * 256), Value::make_ref(rnd)});
+  std::vector<double> before;
+  for (int k = 0; k < 512; ++k) {
+    before.push_back(vm.heap().array_get(data.as_ref(), k).as_fp());
+  }
+  for (int it = 0; it < 4; ++it) {
+    vm.invoke("scimark.fft.FFT.transform(A)V", {data});
+    vm.invoke("scimark.fft.FFT.inverse(A)V", {data});
+  }
+  // Round-trip must reproduce the input (the SciMark validation check).
+  for (int k = 0; k < 512; ++k) {
+    const double now = vm.heap().array_get(data.as_ref(), k).as_fp();
+    expect(std::abs(now - before[static_cast<std::size_t>(k)]) < 1e-8,
+           "fft round trip");
+  }
+}
+
+Ref make_matrix(Interpreter& vm, int n, Ref rnd) {
+  const Ref mat = vm.heap().new_array(ValueType::Ref, n);
+  for (int r = 0; r < n; ++r) {
+    vm.heap().array_set(mat, r,
+                        Value::make_ref(vm.heap().new_array(
+                            ValueType::Double, n)));
+  }
+  vm.invoke("scimark.utils.kernel.RandomizeMatrix(AA)V",
+            {Value::make_ref(mat), Value::make_ref(rnd)});
+  return mat;
+}
+
+void run_lu(Interpreter& vm) {
+  const int n = 32;
+  const Ref rnd = make_random(vm, 7);
+  const Ref A = make_matrix(vm, n, rnd);
+  const Ref LU = make_matrix(vm, n, rnd);
+  const Ref piv = vm.heap().new_array(ValueType::Int, n);
+  for (int it = 0; it < 4; ++it) {
+    vm.invoke("scimark.utils.kernel.CopyMatrix(AA)V",
+              {Value::make_ref(LU), Value::make_ref(A)});
+    const Value rc = vm.invoke("scimark.lu.LU.factor(AA)I",
+                               {Value::make_ref(LU), Value::make_ref(piv)});
+    expect(rc.as_int() == 0, "lu factor singular");
+  }
+  // Light validation: diagonal of U must be nonzero.
+  for (int d = 0; d < n; ++d) {
+    const Ref row = vm.heap().array_get(LU, d).as_ref();
+    expect(vm.heap().array_get(row, d).as_fp() != 0.0, "lu diagonal");
+  }
+  // Full validation: solve A x = b for a known x and compare.
+  const Value x_true = vm.invoke("scimark.utils.kernel.RandomVector(IA)A",
+                                 {Value::make_int(n), Value::make_ref(rnd)});
+  const Ref b = vm.heap().new_array(ValueType::Double, n);
+  vm.invoke("scimark.utils.kernel.matvec(AAA)V",
+            {Value::make_ref(A), x_true, Value::make_ref(b)});
+  vm.invoke("scimark.lu.LU.solve(AAA)V",
+            {Value::make_ref(LU), Value::make_ref(piv), Value::make_ref(b)});
+  for (int k = 0; k < n; ++k) {
+    const double got = vm.heap().array_get(b, k).as_fp();
+    const double want = vm.heap().array_get(x_true.as_ref(), k).as_fp();
+    expect(std::abs(got - want) < 1e-6, "lu solve residual");
+  }
+}
+
+void run_sor(Interpreter& vm) {
+  const Ref rnd = make_random(vm, 42);
+  const Ref G = make_matrix(vm, 34, rnd);
+  const Value r = vm.invoke(
+      "scimark.sor.SOR.execute(DAI)D",
+      {Value::make_double(1.25), Value::make_ref(G), Value::make_int(30)});
+  expect(std::isfinite(r.as_fp()), "sor produced non-finite value");
+}
+
+void run_sparse(Interpreter& vm) {
+  // 100x100 sparse matrix with ~5 nonzeros per row in CSR form.
+  const int n = 100, nz_per_row = 5;
+  const Ref rnd = make_random(vm, 9);
+  auto& h = vm.heap();
+  const Ref row = h.new_array(ValueType::Int, n + 1);
+  const Ref col = h.new_array(ValueType::Int, n * nz_per_row);
+  const Ref val = h.new_array(ValueType::Double, n * nz_per_row);
+  for (int r = 0; r <= n; ++r) {
+    h.array_set(row, r, Value::make_int(r * nz_per_row));
+  }
+  for (int k = 0; k < n * nz_per_row; ++k) {
+    h.array_set(col, k, Value::make_int((k * 37) % n));
+    h.array_set(val, k, Value::make_double(1.0 + (k % 7)));
+  }
+  const Value x = vm.invoke("scimark.utils.kernel.RandomVector(IA)A",
+                            {Value::make_int(n), Value::make_ref(rnd)});
+  const Ref y = h.new_array(ValueType::Double, n);
+  vm.invoke("scimark.sparse.SparseCompRow.matmult(AAAAAI)V",
+            {Value::make_ref(y), Value::make_ref(val), Value::make_ref(row),
+             Value::make_ref(col), x, Value::make_int(20)});
+  // Validate row 0 against a host-side dot product.
+  double want = 0.0;
+  for (int k = 0; k < nz_per_row; ++k) {
+    want += h.array_get(val, k).as_fp() *
+            h.array_get(x.as_ref(), h.array_get(col, k).as_int()).as_fp();
+  }
+  expect(std::abs(h.array_get(y, 0).as_fp() - want) < 1e-9,
+         "sparse matmult row 0");
+}
+
+void run_monte_carlo(Interpreter& vm) {
+  const Value pi = vm.invoke("scimark.monte_carlo.MonteCarlo.integrate(I)D",
+                             {Value::make_int(20000)});
+  expect(std::abs(pi.as_fp() - 3.14159265) < 0.1, "monte carlo pi estimate");
+}
+
+}  // namespace
+
+std::vector<Benchmark> make_scimark_benchmarks(Program& p) {
+  build_random(p);
+  build_kernel_utils(p);
+  build_fft(p);
+  build_lu(p);
+  build_lu_solve(p);
+  build_sor(p);
+  build_sparse(p);
+  build_monte_carlo(p);
+
+  std::vector<Benchmark> out;
+  out.push_back({"scimark.fft.large",
+                 "SpecJvm2008",
+                 {"scimark.fft.FFT.transform_internal(AI)V",
+                  "scimark.fft.FFT.bitreverse(A)V",
+                  "scimark.utils.Random.nextDouble()D",
+                  "scimark.fft.FFT.inverse(A)V",
+                  "scimark.fft.FFT.log2(I)I",
+                  "scimark.fft.FFT.transform(A)V"},
+                 run_fft});
+  out.push_back({"scimark.lu.large",
+                 "SpecJvm2008",
+                 {"scimark.lu.LU.factor(AA)I",
+                  "scimark.utils.Random.nextDouble()D",
+                  "scimark.lu.LU.solve(AAA)V",
+                  "scimark.utils.kernel.matvec(AAA)V",
+                  "scimark.utils.kernel.CopyMatrix(AA)V"},
+                 run_lu});
+  out.push_back({"scimark.monte_carlo",
+                 "SpecJvm2008",
+                 {"scimark.utils.Random.nextDouble()D",
+                  "scimark.monte_carlo.MonteCarlo.integrate(I)D"},
+                 run_monte_carlo});
+  out.push_back({"scimark.sor.large",
+                 "SpecJvm2008",
+                 {"scimark.sor.SOR.execute(DAI)D",
+                  "scimark.utils.Random.nextDouble()D",
+                  "scimark.utils.kernel.RandomizeMatrix(AA)V"},
+                 run_sor});
+  out.push_back({"scimark.sparse.large",
+                 "SpecJvm2008",
+                 {"scimark.sparse.SparseCompRow.matmult(AAAAAI)V",
+                  "scimark.utils.Random.nextDouble()D",
+                  "scimark.utils.kernel.RandomVector(IA)A"},
+                 run_sparse});
+  return out;
+}
+
+}  // namespace javaflow::workloads

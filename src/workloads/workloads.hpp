@@ -1,0 +1,46 @@
+// Workload suite — the reproduction's stand-in for SPEC JVM98/JVM2008.
+//
+// Each benchmark analogue contributes hand-written ByteCode kernels named
+// after the paper's hottest methods (Tables 3-4) plus a driver that runs a
+// laptop-scale workload through the reference interpreter. The kernels use
+// the JAVAC discipline the paper leans on (§3.6): operand stack for
+// intra-block dataflow, local registers for loop-carried and inter-block
+// values — which is what guarantees the "no DataFlow back-merge" property
+// (Table 7).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace javaflow::workloads {
+
+struct Benchmark {
+  std::string name;   // e.g. "scimark.fft.large"
+  std::string suite;  // "SpecJvm2008" or "SpecJvm98"
+  std::vector<std::string> methods;  // qualified kernel names contributed
+  // Runs a scaled workload; expected to validate its own results and throw
+  // on a wrong answer (the drivers double as end-to-end kernel tests).
+  std::function<void(jvm::Interpreter&)> run;
+};
+
+// Each factory registers its classes and methods into `program` and
+// returns the benchmark descriptors. Factories are independent; a Program
+// may hold any subset.
+std::vector<Benchmark> make_compress_benchmarks(bytecode::Program& program);
+std::vector<Benchmark> make_crypto_benchmarks(bytecode::Program& program);
+std::vector<Benchmark> make_scimark_benchmarks(bytecode::Program& program);
+std::vector<Benchmark> make_mpegaudio_benchmarks(bytecode::Program& program);
+std::vector<Benchmark> make_jvm98_benchmarks(bytecode::Program& program);
+
+// The full suite (all factories above).
+struct Suite {
+  bytecode::Program program;
+  std::vector<Benchmark> benchmarks;
+};
+Suite make_suite();
+
+}  // namespace javaflow::workloads

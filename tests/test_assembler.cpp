@@ -1,0 +1,175 @@
+// Tests for the label-based assembler.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "bytecode/printer.hpp"
+
+namespace javaflow::bytecode {
+namespace {
+
+TEST(Assembler, BuildsStraightLineAdd) {
+  // The paper's Figure 21 example: load three registers, add, store.
+  Program p;
+  Assembler a(p, "example.add3(III)V", "test");
+  a.args({ValueType::Int, ValueType::Int, ValueType::Int})
+      .returns(ValueType::Void);
+  a.iload(0).iload(1).op(Op::iadd).iload(2).op(Op::iadd).istore(3);
+  a.op(Op::return_);
+  const Method m = a.build();
+
+  ASSERT_EQ(m.code.size(), 7u);
+  EXPECT_EQ(m.code[0].op, Op::iload_0);
+  EXPECT_EQ(m.code[2].op, Op::iadd);
+  EXPECT_EQ(m.code[5].op, Op::istore_3);
+  EXPECT_EQ(m.max_stack, 2);
+  EXPECT_EQ(m.max_locals, 4);
+}
+
+TEST(Assembler, SelectsShortConstantForms) {
+  Program p;
+  Assembler a(p, "t.c()V", "test");
+  a.returns(ValueType::Void);
+  a.iconst(0);     // iconst_0
+  a.iconst(5);     // iconst_5
+  a.iconst(-1);    // iconst_m1
+  a.iconst(100);   // bipush
+  a.iconst(1000);  // sipush
+  a.iconst(70000); // ldc
+  for (int k = 0; k < 6; ++k) a.op(Op::pop);
+  a.op(Op::return_);
+  const Method m = a.build();
+  EXPECT_EQ(m.code[0].op, Op::iconst_0);
+  EXPECT_EQ(m.code[1].op, Op::iconst_5);
+  EXPECT_EQ(m.code[2].op, Op::iconst_m1);
+  EXPECT_EQ(m.code[3].op, Op::bipush);
+  EXPECT_EQ(m.code[4].op, Op::sipush);
+  EXPECT_EQ(m.code[5].op, Op::ldc);
+  EXPECT_EQ(p.pool.at(m.code[5].operand).i, 70000);
+}
+
+TEST(Assembler, SelectsShortLocalForms) {
+  Program p;
+  Assembler a(p, "t.l()V", "test");
+  a.returns(ValueType::Void);
+  a.iconst(1).istore(3).iload(3).istore(4).iload(4).op(Op::pop);
+  a.op(Op::return_);
+  const Method m = a.build();
+  EXPECT_EQ(m.code[1].op, Op::istore_3);
+  EXPECT_EQ(m.code[2].op, Op::iload_3);
+  EXPECT_EQ(m.code[3].op, Op::istore);  // index 4 has no short form
+  EXPECT_EQ(m.code[3].operand, 4);
+  EXPECT_EQ(m.max_locals, 5);
+}
+
+TEST(Assembler, PatchesForwardAndBackwardLabels) {
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto head = a.new_label();
+  auto done = a.new_label();
+  a.iconst(0).istore(1);
+  a.bind(head);
+  a.iload(0).ifle(done);          // forward branch
+  a.iinc(1, 1).iinc(0, -1);
+  a.goto_(head);                  // backward branch
+  a.bind(done);
+  a.iload(1).op(Op::ireturn);
+  const Method m = a.build();
+
+  const Instruction& jump = m.code[3];
+  EXPECT_EQ(jump.op, Op::ifle);
+  EXPECT_GT(jump.target, 3);  // forward
+  const Instruction& loop = m.code[6];
+  EXPECT_EQ(loop.op, Op::goto_);
+  EXPECT_EQ(loop.target, 2);  // back to bind(head)
+}
+
+TEST(Assembler, CallSitesResolvePopPush) {
+  Program p;
+  Assembler a(p, "t.call()D", "test");
+  a.returns(ValueType::Double);
+  a.dconst(2.0);
+  a.invokestatic("java.lang.Math.sqrt(D)D", 1, ValueType::Double);
+  a.op(Op::dreturn);
+  const Method m = a.build();
+  EXPECT_EQ(m.code[1].pop, 1);
+  EXPECT_EQ(m.code[1].push, 1);
+
+  Assembler b(p, "t.vcall()V", "test");
+  b.returns(ValueType::Void);
+  b.iconst(1).iconst(2).iconst(3);
+  b.invokestatic("t.sink(III)V", 3, ValueType::Void);
+  b.op(Op::return_);
+  const Method mv = b.build();
+  EXPECT_EQ(mv.code[3].pop, 3);
+  EXPECT_EQ(mv.code[3].push, 0);
+}
+
+TEST(Assembler, UnboundLabelIsAnError) {
+  Program p;
+  Assembler a(p, "t.bad()V", "test");
+  a.returns(ValueType::Void);
+  auto l = a.new_label();
+  a.goto_(l);
+  EXPECT_THROW(a.build(), std::runtime_error);
+}
+
+TEST(Assembler, DoubleBindIsAnError) {
+  Program p;
+  Assembler a(p, "t.bad2()V", "test");
+  auto l = a.new_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), std::runtime_error);
+}
+
+TEST(Assembler, TableSwitchBuildsDenseTable) {
+  Program p;
+  Assembler a(p, "t.sw(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto c0 = a.new_label(), c1 = a.new_label(), dflt = a.new_label();
+  a.iload(0);
+  a.tableswitch(0, {c0, c1}, dflt);
+  a.bind(c0);
+  a.iconst(10).op(Op::ireturn);
+  a.bind(c1);
+  a.iconst(11).op(Op::ireturn);
+  a.bind(dflt);
+  a.iconst(-1).op(Op::ireturn);
+  const Method m = a.build();
+  ASSERT_EQ(m.switches.size(), 1u);
+  const SwitchTable& t = m.switches[0];
+  EXPECT_EQ(t.keys, (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(t.targets[0], 2);
+  EXPECT_EQ(t.targets[1], 4);
+  EXPECT_EQ(t.default_target, 6);
+}
+
+TEST(Assembler, DisassemblyRoundTripsNames) {
+  Program p;
+  Assembler a(p, "t.disasm(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  a.iload(0).iconst(2).op(Op::imul).op(Op::ireturn);
+  const Method m = a.build();
+  const std::string text = disassemble(m, p.pool);
+  EXPECT_NE(text.find("iload_0"), std::string::npos);
+  EXPECT_NE(text.find("imul"), std::string::npos);
+  EXPECT_NE(text.find("ireturn"), std::string::npos);
+  EXPECT_NE(text.find("t.disasm(I)I"), std::string::npos);
+}
+
+TEST(Assembler, InstanceMethodsTrackThisInLocals) {
+  Program p;
+  p.classes["T"] = ClassDef{"T", {{"x", ValueType::Int}}, {}};
+  Assembler a(p, "T.getX()I", "test");
+  a.instance().args({ValueType::Ref}).returns(ValueType::Int);
+  a.aload(0);
+  a.getfield("T", "x", ValueType::Int);
+  a.op(Op::ireturn);
+  const Method m = a.build();
+  EXPECT_FALSE(m.is_static);
+  EXPECT_EQ(m.num_args, 1);
+  EXPECT_EQ(m.max_stack, 1);
+}
+
+}  // namespace
+}  // namespace javaflow::bytecode

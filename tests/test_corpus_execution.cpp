@@ -1,0 +1,102 @@
+// Corpus-wide execution properties — the strongest end-to-end guarantees:
+// a sampled slice of the full 1605-method population must deploy, resolve
+// with zero back merges, and run to completion on every configuration.
+#include <gtest/gtest.h>
+
+#include "core/javaflow.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow {
+namespace {
+
+const workloads::Corpus& corpus() {
+  static workloads::Corpus c = workloads::make_corpus({});
+  return c;
+}
+
+// One parameterized case per configuration; each samples the corpus.
+class CorpusOnConfig : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Table15, CorpusOnConfig,
+                         ::testing::Values("Baseline", "Compact10",
+                                           "Compact4", "Compact2",
+                                           "Sparse2", "Hetero2"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(CorpusOnConfig, SampledMethodsRunToCompletion) {
+  const auto& c = corpus();
+  JavaFlowMachine machine(sim::config_by_name(GetParam()));
+  int executed = 0, skipped = 0;
+  for (std::size_t i = 0; i < c.program.methods.size(); i += 23) {
+    const bytecode::Method& m = c.program.methods[i];
+    const DeployedMethod d = machine.deploy(m, c.program.pool);
+    if (!d.placement.fits) {
+      ++skipped;  // oversized tail of the population
+      continue;
+    }
+    ASSERT_TRUE(d.resolution.ok) << m.name;
+    EXPECT_EQ(d.resolution.back_merges, 0) << m.name;
+    for (const auto scenario : {sim::BranchPredictor::Scenario::BP1,
+                                sim::BranchPredictor::Scenario::BP2}) {
+      const sim::RunMetrics r = machine.execute(d, scenario);
+      ASSERT_TRUE(r.completed) << m.name << " on " << GetParam();
+      EXPECT_FALSE(r.timed_out) << m.name;
+      EXPECT_GT(r.instructions_fired, 0) << m.name;
+      EXPECT_LE(r.coverage(), 1.0) << m.name;
+      ++executed;
+    }
+  }
+  EXPECT_GT(executed, 100);
+  // Only the >1000-instruction slice may fail to fit, and only on the
+  // node-hungry layouts.
+  EXPECT_LT(skipped, 6);
+}
+
+TEST(CorpusExecution, ResolutionCyclesTrackInstructionCount) {
+  // Table 7's summary property over a corpus sample: resolution completes
+  // in roughly twice the instruction count.
+  const auto& c = corpus();
+  JavaFlowMachine machine(sim::config_by_name("Compact2"));
+  double ratio_sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < c.program.methods.size(); i += 31) {
+    const bytecode::Method& m = c.program.methods[i];
+    const DeployedMethod d = machine.deploy(m, c.program.pool);
+    if (!d.ok()) continue;
+    ratio_sum += static_cast<double>(d.resolution.total_cycles) /
+                 static_cast<double>(m.code.size());
+    ++n;
+  }
+  ASSERT_GT(n, 20);
+  const double mean_ratio = ratio_sum / n;
+  EXPECT_GT(mean_ratio, 1.5);
+  EXPECT_LT(mean_ratio, 3.0);
+}
+
+TEST(CorpusExecution, BaselineDominatesHetero) {
+  // The dissertation's headline: Hetero2 lands near 40 % of Baseline.
+  const auto& c = corpus();
+  JavaFlowMachine baseline(sim::config_by_name("Baseline"));
+  JavaFlowMachine hetero(sim::config_by_name("Hetero2"));
+  double fm_sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < c.program.methods.size(); i += 17) {
+    const bytecode::Method& m = c.program.methods[i];
+    const DeployedMethod db = baseline.deploy(m, c.program.pool);
+    const DeployedMethod dh = hetero.deploy(m, c.program.pool);
+    if (!db.ok() || !dh.ok()) continue;
+    const auto rb =
+        baseline.execute(db, sim::BranchPredictor::Scenario::BP1);
+    const auto rh = hetero.execute(dh, sim::BranchPredictor::Scenario::BP1);
+    if (!rb.completed || !rh.completed || rb.ipc() <= 0) continue;
+    fm_sum += rh.ipc() / rb.ipc();
+    ++n;
+  }
+  ASSERT_GT(n, 50);
+  const double fm = fm_sum / n;
+  EXPECT_GT(fm, 0.30);
+  EXPECT_LT(fm, 0.60);  // the paper reports ~0.40-0.47
+}
+
+}  // namespace
+}  // namespace javaflow

@@ -1,0 +1,211 @@
+// Tests for the DataFlow graph builder — including the paper's Figure 21
+// example and the greedy needs-up equivalence property.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/resolver.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow::fabric {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+// Figure 21's example: three register loads, two adds, one store.
+bytecode::Method figure21(Program& p) {
+  Assembler a(p, "fig21.add(III)V", "test");
+  a.args({ValueType::Int, ValueType::Int, ValueType::Int})
+      .returns(ValueType::Void);
+  a.iload(1).iload(2).op(Op::iadd);   // 0,1,2
+  a.iload(0).op(Op::iadd);            // 3,4  (order differs; see below)
+  a.istore(3);                        // 5
+  a.op(Op::return_);                  // 6
+  return a.build();
+}
+
+TEST(DataflowGraph, Figure21LinksNearestOpenPushes) {
+  Program p;
+  const auto m = figure21(p);
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+
+  // iadd@2 consumes iload@1 (top of stack, side 1) and iload@0 (side 2).
+  auto s1 = g.producers_of(2, 1);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].producer, 1);
+  auto s2 = g.producers_of(2, 2);
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2[0].producer, 0);
+  // iadd@4 consumes iload@3 (side 1) and iadd@2's result (side 2).
+  EXPECT_EQ(g.producers_of(4, 1)[0].producer, 3);
+  EXPECT_EQ(g.producers_of(4, 2)[0].producer, 2);
+  // istore@5 consumes iadd@4.
+  EXPECT_EQ(g.producers_of(5, 1)[0].producer, 4);
+  EXPECT_EQ(g.merge_count, 0);
+  EXPECT_EQ(g.back_merge_count, 0);
+  EXPECT_EQ(g.total_dflows, 5);
+}
+
+TEST(DataflowGraph, DupFansOutToTwoConsumers) {
+  Program p;
+  Assembler a(p, "t.dup()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(3);          // 0
+  a.op(Op::dup);        // 1
+  a.op(Op::imul);       // 2: consumes both dup outputs
+  a.op(Op::ireturn);    // 3
+  const auto m = a.build();
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+  EXPECT_EQ(g.fan_out(1), 2u);  // dup pushes twice into imul sides 1 & 2
+  EXPECT_EQ(g.producers_of(2, 1)[0].producer, 1);
+  EXPECT_EQ(g.producers_of(2, 2)[0].producer, 1);
+}
+
+TEST(DataflowGraph, ForwardMergeProducesTwoProducersOneSide) {
+  // Figure 22's situation: both arms push a value for the same consumer
+  // side.
+  Program p;
+  Assembler a(p, "t.merge(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto els = a.new_label(), join = a.new_label();
+  a.iload(0).ifle(els);   // 0,1
+  a.iconst(10);           // 2
+  a.goto_(join);          // 3
+  a.bind(els);
+  a.iconst(20);           // 4
+  a.bind(join);
+  a.op(Op::ireturn);      // 5
+  const auto m = a.build();
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+  const auto producers = g.producers_of(5, 1);
+  ASSERT_EQ(producers.size(), 2u);
+  EXPECT_TRUE(producers[0].merge);
+  EXPECT_TRUE(producers[1].merge);
+  EXPECT_EQ(g.merge_count, 1);
+  EXPECT_EQ(g.back_merge_count, 0);
+}
+
+TEST(DataflowGraph, ValuePushedBeforeBranchFansOutAcrossArms) {
+  Program p;
+  Assembler a(p, "t.fan(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto els = a.new_label(), join = a.new_label();
+  a.iconst(7);            // 0: consumed in both arms (fan-out 2)
+  a.iload(0).ifle(els);   // 1,2
+  a.iconst(1).op(Op::iadd);  // 3,4
+  a.goto_(join);          // 5
+  a.bind(els);
+  a.iconst(2).op(Op::iadd);  // 6,7
+  a.bind(join);
+  a.op(Op::ireturn);      // 8
+  const auto m = a.build();
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+  // iconst@0 feeds iadd@4 (side 2) on one arm and iadd@7 on the other.
+  EXPECT_EQ(g.fan_out(0), 2u);
+  EXPECT_EQ(g.producers_of(4, 2)[0].producer, 0);
+  EXPECT_EQ(g.producers_of(7, 2)[0].producer, 0);
+}
+
+TEST(DataflowGraph, LoopCarriedValuesGoThroughRegistersNotArcs) {
+  // JAVAC-style loop: no stack value crosses the back edge, so no edge's
+  // producer is below its consumer.
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.iconst(0).istore(1);
+  a.goto_(test);
+  a.bind(body);
+  a.iload(1).iload(0).op(Op::iadd).istore(1);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(1).op(Op::ireturn);
+  const auto m = a.build();
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+  EXPECT_EQ(g.back_merge_count, 0);
+  for (const Edge& e : g.edges) {
+    EXPECT_LT(e.producer, e.consumer);
+  }
+}
+
+TEST(DataflowGraph, GreedyNeedsUpMatchesGraphOnStraightLine) {
+  // The literal §6.2 open-push walk must agree with the abstract graph on
+  // branch-free code.
+  Program p;
+  Assembler a(p, "t.str8()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(1).iconst(2).iconst(3);
+  a.op(Op::iadd);
+  a.op(Op::imul);
+  a.iconst(4).op(Op::swap).op(Op::isub);
+  a.op(Op::ireturn);
+  const auto m = a.build();
+  const DataflowGraph g = build_dataflow_graph(m, p.pool);
+  const auto greedy = greedy_needs_up_edges(m);
+  ASSERT_EQ(greedy.size(), g.edges.size());
+  for (const Edge& ge : greedy) {
+    const auto matches = g.producers_of(ge.consumer, ge.side);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].producer, ge.producer)
+        << "consumer " << ge.consumer << " side " << int(ge.side);
+  }
+}
+
+// Property suite over every hand-written kernel: the corpus-wide paper
+// invariants (§5.4): no back merges, modest fan-out, every edge forward.
+class KernelGraphs : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static const workloads::Corpus& corpus() {
+    static workloads::Corpus c = [] {
+      workloads::CorpusOptions opt;
+      opt.total_methods = 0;  // kernels only
+      return workloads::make_corpus(opt);
+    }();
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelGraphs,
+    ::testing::Range<std::size_t>(0, 66),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string n = KernelGraphs::corpus()
+                          .program.methods[info.param]
+                          .name;
+      std::string out;
+      for (char c : n) {
+        out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+      }
+      return out;
+    });
+
+TEST_P(KernelGraphs, PaperInvariantsHold) {
+  const auto& c = corpus();
+  ASSERT_LT(GetParam(), c.program.methods.size());
+  const bytecode::Method& m = c.program.methods[GetParam()];
+  const DataflowGraph g = build_dataflow_graph(m, c.program.pool);
+  // Table 7: zero DataFlow back merges in valid Java.
+  EXPECT_EQ(g.back_merge_count, 0) << m.name;
+  for (const Edge& e : g.edges) {
+    EXPECT_LT(e.producer, e.consumer) << m.name;
+    EXPECT_GE(e.side, 1) << m.name;
+    EXPECT_LE(e.side, m.code[static_cast<std::size_t>(e.consumer)].pop)
+        << m.name;
+  }
+  // Table 10: fan-out stays small without compiler optimization.
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    EXPECT_LE(g.fan_out(static_cast<std::int32_t>(i)), 8u) << m.name;
+  }
+  // Every pop of every reachable instruction has at least one producer
+  // (otherwise the machine could never fire it).
+  for (const Edge& e : g.edges) {
+    EXPECT_GT(m.code[static_cast<std::size_t>(e.consumer)].pop, 0);
+  }
+}
+
+}  // namespace
+}  // namespace javaflow::fabric

@@ -1,0 +1,370 @@
+// Tests for the execution engine: firing rules, token bundle mechanics,
+// loop replay, predictor behaviour, and cross-configuration ordering.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow::sim {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+RunMetrics run_on(const std::string& config, const bytecode::Method& m,
+                  const bytecode::ConstantPool& pool,
+                  BranchPredictor::Scenario scenario =
+                      BranchPredictor::Scenario::BP1) {
+  const auto graph = fabric::build_dataflow_graph(m, pool);
+  Engine engine(config_by_name(config));
+  BranchPredictor predictor(scenario);
+  return engine.run(m, graph, predictor);
+}
+
+bytecode::Method trivial(Program& p) {
+  Assembler a(p, "t.t()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(1).op(Op::ireturn);
+  return a.build();
+}
+
+TEST(Engine, TrivialMethodCompletes) {
+  Program p;
+  const auto m = trivial(p);
+  for (const auto& cfg : table15_configs()) {
+    Engine engine(cfg);
+    BranchPredictor bp(BranchPredictor::Scenario::BP1);
+    const auto graph = fabric::build_dataflow_graph(m, p.pool);
+    const RunMetrics r = engine.run(m, graph, bp);
+    EXPECT_TRUE(r.completed) << cfg.name;
+    EXPECT_EQ(r.instructions_fired, 2) << cfg.name;
+    EXPECT_DOUBLE_EQ(r.coverage(), 1.0) << cfg.name;
+  }
+}
+
+TEST(Engine, StraightLineFiresEverything) {
+  Program p;
+  Assembler a(p, "t.line()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(1).iconst(2).op(Op::iadd).iconst(3).op(Op::imul);
+  a.op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.instructions_fired,
+            static_cast<std::int64_t>(m.code.size()));
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(Engine, RegisterTokensDriveLocalOps) {
+  // read-modify-write chain through registers: iload -> iadd -> istore,
+  // then a dependent iload downstream must see the new token.
+  Program p;
+  Assembler a(p, "t.regs(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  a.iload(0).iconst(1).op(Op::iadd).istore(0);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.instructions_fired,
+            static_cast<std::int64_t>(m.code.size()));
+}
+
+TEST(Engine, BackJumpLoopsTenTimesPerVisit) {
+  // Bottom-test loop: the conditional back jump is taken 9 times, so the
+  // two-instruction body fires 9 times (§7.3's 90 % rule).
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);        // 0
+  a.bind(body);
+  a.iinc(0, 1);         // 1 (the body)
+  a.bind(test);
+  a.iload(0);           // 2
+  a.ifgt(body);         // 3 — backward conditional
+  a.iload(0);           // 4
+  a.op(Op::ireturn);    // 5
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  // goto fires once; body(iinc) 9x; iload@2 and ifgt 10x; exit pair once.
+  EXPECT_EQ(r.instructions_fired, 1 + 9 + 10 + 10 + 1 + 1);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(Engine, ForwardBranchAlternatesBetweenScenarios) {
+  // BP1 takes the first forward jump, skipping the arm; BP2 falls
+  // through, covering it (§7.3).
+  Program p;
+  Assembler a(p, "t.fwd(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto skip = a.new_label();
+  a.iload(0).ifle(skip);  // 0,1
+  a.iinc(0, 1);           // 2 — only on the not-taken path
+  a.iinc(0, 2);           // 3
+  a.bind(skip);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics bp1 =
+      run_on("Compact2", m, p.pool, BranchPredictor::Scenario::BP1);
+  const RunMetrics bp2 =
+      run_on("Compact2", m, p.pool, BranchPredictor::Scenario::BP2);
+  ASSERT_TRUE(bp1.completed);
+  ASSERT_TRUE(bp2.completed);
+  EXPECT_LT(bp1.coverage(), 1.0);      // arm skipped
+  EXPECT_DOUBLE_EQ(bp2.coverage(), 1.0);
+  EXPECT_EQ(bp2.instructions_fired - bp1.instructions_fired, 2);
+}
+
+TEST(Engine, MergeConsumerReceivesExactlyOneOperand) {
+  Program p;
+  Assembler a(p, "t.merge(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto els = a.new_label(), join = a.new_label();
+  a.iload(0).ifle(els);
+  a.iconst(10).goto_(join);
+  a.bind(els);
+  a.iconst(20);
+  a.bind(join);
+  a.op(Op::ireturn);
+  const auto m = a.build();
+  for (const auto scenario :
+       {BranchPredictor::Scenario::BP1, BranchPredictor::Scenario::BP2}) {
+    const RunMetrics r = run_on("Compact2", m, p.pool, scenario);
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST(Engine, MemoryOpsSerializeViaMemoryToken) {
+  // Two dependent array reads: the MEMORY token ordering plus data
+  // dependence forces the second read to start after the first returns.
+  Program p;
+  Assembler a(p, "t.mem(A)I", "test");
+  a.args({ValueType::Ref}).returns(ValueType::Int);
+  a.aload(0).iconst(0).op(Op::iaload);   // 0,1,2
+  a.aload(0).iconst(1).op(Op::iaload);   // 3,4,5
+  a.op(Op::iadd).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  const auto& cfg = config_by_name("Compact2");
+  // At least two full memory round trips must fit in the elapsed time.
+  EXPECT_GE(r.mesh_cycles, 2 * cfg.ring.memory_read);
+}
+
+TEST(Engine, CallsStallOnlyTheTail) {
+  Program p;
+  Assembler a(p, "t.call()I", "test");
+  a.returns(ValueType::Int);
+  a.invokestatic("lib.f()I", 0, ValueType::Int);
+  a.op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  const auto& cfg = config_by_name("Compact2");
+  EXPECT_GE(r.mesh_cycles, cfg.ring.gpp_service);
+}
+
+TEST(Engine, SwitchRoutesThroughTableTargets) {
+  Program p;
+  Assembler a(p, "t.sw(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto c0 = a.new_label(), c1 = a.new_label(), dflt = a.new_label();
+  a.iload(0);
+  a.tableswitch(0, {c0, c1}, dflt);
+  a.bind(c0);
+  a.iconst(10).op(Op::ireturn);
+  a.bind(c1);
+  a.iconst(11).op(Op::ireturn);
+  a.bind(dflt);
+  a.iconst(-1).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Engine, IpcOrderingAcrossConfigurations) {
+  // Build a method with loops, storage and float work, then check the
+  // Table 22 ordering: Baseline >= Compact10 >= Compact4 >= Compact2 >=
+  // Sparse2 and Hetero2 below Compact2.
+  Program p;
+  Assembler a(p, "t.work(IA)I", "test");
+  a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.aload(1).iload(0).op(Op::iaload);
+  a.iconst(3).op(Op::imul).istore(0);
+  a.iload(0).op(Op::i2d).dconst(0.5).op(Op::dmul).op(Op::d2i).istore(0);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+
+  std::vector<double> ipc;
+  for (const auto& cfg : table15_configs()) {
+    Engine engine(cfg);
+    BranchPredictor bp(BranchPredictor::Scenario::BP1);
+    const RunMetrics r = engine.run(m, graph, bp);
+    ASSERT_TRUE(r.completed) << cfg.name;
+    ipc.push_back(r.ipc());
+  }
+  EXPECT_GE(ipc[0], ipc[1]);  // Baseline >= Compact10
+  EXPECT_GE(ipc[1], ipc[2]);  // Compact10 >= Compact4
+  EXPECT_GE(ipc[2], ipc[3]);  // Compact4 >= Compact2
+  EXPECT_GE(ipc[3], ipc[4]);  // Compact2 >= Sparse2
+  EXPECT_GT(ipc[3], ipc[5]);  // Compact2 > Hetero2
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Program p;
+  Assembler a(p, "t.det(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.iinc(0, 1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r1 = run_on("Hetero2", m, p.pool);
+  const RunMetrics r2 = run_on("Hetero2", m, p.pool);
+  EXPECT_EQ(r1.ticks, r2.ticks);
+  EXPECT_EQ(r1.instructions_fired, r2.instructions_fired);
+  EXPECT_EQ(r1.mesh_messages, r2.mesh_messages);
+}
+
+TEST(Engine, OversizedMethodDoesNotFit) {
+  Program p;
+  Assembler a(p, "t.big()I", "test");
+  a.returns(ValueType::Int);
+  for (int k = 0; k < 6000; ++k) a.iinc(0, 1);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  MachineConfig cfg = config_by_name("Hetero2");
+  cfg.capacity = 4000;
+  Engine engine(cfg);
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  EXPECT_FALSE(r.fits);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Engine, ParallelismBoundedByOne) {
+  Program p;
+  const auto m = trivial(p);
+  const RunMetrics r = run_on("Baseline", m, p.pool);
+  EXPECT_GE(r.parallel_2plus(), 0.0);
+  EXPECT_LE(r.parallel_2plus(), 1.0);
+  EXPECT_GE(r.ticks_exec_1plus, r.ticks_exec_2plus);
+}
+
+TEST(BranchPredictorTest, BackJumpNineOfTen) {
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  int taken = 0;
+  for (int k = 0; k < 20; ++k) {
+    if (bp.decide(7, BranchKind::Backward)) ++taken;
+  }
+  EXPECT_EQ(taken, 18);  // 9 of every 10
+}
+
+TEST(BranchPredictorTest, LoopExitOneOfTen) {
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  int taken = 0;
+  for (int k = 0; k < 20; ++k) {
+    if (bp.decide(7, BranchKind::LoopExit)) ++taken;
+  }
+  EXPECT_EQ(taken, 2);  // exits on the 10th visit
+}
+
+TEST(BranchPredictorTest, ForwardAlternatesWithScenarioPhase) {
+  BranchPredictor bp1(BranchPredictor::Scenario::BP1);
+  BranchPredictor bp2(BranchPredictor::Scenario::BP2);
+  EXPECT_TRUE(bp1.decide(3, BranchKind::Forward));
+  EXPECT_FALSE(bp1.decide(3, BranchKind::Forward));
+  EXPECT_TRUE(bp1.decide(3, BranchKind::Forward));
+  EXPECT_FALSE(bp2.decide(3, BranchKind::Forward));
+  EXPECT_TRUE(bp2.decide(3, BranchKind::Forward));
+}
+
+TEST(BranchPredictorTest, SitesAreIndependent) {
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  EXPECT_TRUE(bp.decide(1, BranchKind::Forward));
+  EXPECT_TRUE(bp.decide(2, BranchKind::Forward));  // fresh site
+  EXPECT_FALSE(bp.decide(1, BranchKind::Forward));
+}
+
+TEST(BranchPredictorTest, TraceModeReplaysOutcomes) {
+  BranchPredictor bp(BranchPredictor::Scenario::Trace);
+  bp.feed_trace(4, true);
+  bp.feed_trace(4, false);
+  EXPECT_TRUE(bp.decide(4, BranchKind::Forward));
+  EXPECT_FALSE(bp.decide(4, BranchKind::Forward));
+  // Exhausted: loop exits are taken so execution terminates.
+  EXPECT_FALSE(bp.decide(4, BranchKind::Forward));
+  EXPECT_TRUE(bp.decide(4, BranchKind::LoopExit));
+}
+
+TEST(BranchClassification, DetectsHeadTestLoops) {
+  Program p;
+  Assembler a(p, "t.head(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto head = a.new_label(), done = a.new_label();
+  a.bind(head);
+  a.iload(0).ifle(done);   // 0,1 — loop exit (head test)
+  a.iinc(0, -1);           // 2
+  a.goto_(head);           // 3 — backward latch
+  a.bind(done);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const auto kinds = classify_branches(m);
+  EXPECT_EQ(static_cast<BranchKind>(kinds[1]), BranchKind::LoopExit);
+  EXPECT_EQ(static_cast<BranchKind>(kinds[3]), BranchKind::Backward);
+}
+
+TEST(BranchClassification, PlainForwardBranchStaysForward) {
+  Program p;
+  Assembler a(p, "t.iff(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto skip = a.new_label();
+  a.iload(0).ifle(skip);
+  a.iinc(0, 1);
+  a.bind(skip);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const auto kinds = classify_branches(m);
+  EXPECT_EQ(static_cast<BranchKind>(kinds[1]), BranchKind::Forward);
+}
+
+TEST(Engine, HeadTestLoopAlsoItersTenTimes) {
+  // The LoopExit rule makes the paper's 90 % trip count apply to
+  // head-test loops too.
+  Program p;
+  Assembler a(p, "t.head(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto head = a.new_label(), done = a.new_label();
+  a.bind(head);
+  a.iload(0).ifle(done);
+  a.iinc(0, -1);
+  a.goto_(head);
+  a.bind(done);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const RunMetrics r = run_on("Compact2", m, p.pool);
+  ASSERT_TRUE(r.completed);
+  // Test executes 10x (9 stay + 1 exit): iload+ifle 10x, body 9x,
+  // goto 9x, exit pair once.
+  EXPECT_EQ(r.instructions_fired, 10 + 10 + 9 + 9 + 1 + 1);
+}
+
+}  // namespace
+}  // namespace javaflow::sim

@@ -1,0 +1,109 @@
+// Failure injection: the §6.3 exception path — a node halts, the
+// EXCEPTION_TOKEN reaches the GPP, and the method terminates.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow::sim {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+bytecode::Method divider(Program& p) {
+  Assembler a(p, "t.div(II)I", "test");
+  a.args({ValueType::Int, ValueType::Int}).returns(ValueType::Int);
+  a.iload(0).iload(1).op(Op::idiv);  // 0,1,2 — the faulting node
+  a.iconst(1).op(Op::iadd);          // 3,4
+  a.op(Op::ireturn);                 // 5
+  return a.build();
+}
+
+TEST(Exceptions, InjectedFaultTerminatesTheMethod) {
+  Program p;
+  const auto m = divider(p);
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  EngineOptions opt;
+  opt.inject_exception_at = 2;  // the idiv raises ArithmeticException
+  Engine engine(config_by_name("Compact2"), opt);
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  EXPECT_TRUE(r.completed);   // terminated, via the GPP
+  EXPECT_TRUE(r.exception);
+  // Downstream instructions never fire.
+  EXPECT_LT(r.distinct_fired, r.static_size);
+}
+
+TEST(Exceptions, ExceptionPaysTheGppServiceTrip) {
+  Program p;
+  const auto m = divider(p);
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  const MachineConfig cfg = config_by_name("Compact2");
+  EngineOptions opt;
+  opt.inject_exception_at = 2;
+  Engine engine(cfg, opt);
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  ASSERT_TRUE(r.exception);
+  EXPECT_GE(r.mesh_cycles, cfg.ring.gpp_service);
+}
+
+TEST(Exceptions, LaterFiringFaultsAfterLoopIterations) {
+  Program p;
+  Assembler a(p, "t.loopdiv(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);      // 0
+  a.bind(body);
+  a.iload(0).iconst(2).op(Op::idiv).istore(0);  // 1,2,3,4
+  a.bind(test);
+  a.iload(0).ifgt(body);  // 5,6
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  EngineOptions opt;
+  opt.inject_exception_at = 3;   // the idiv inside the loop
+  opt.inject_exception_fire = 4; // faults on the 4th iteration
+  Engine engine(config_by_name("Compact2"), opt);
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  EXPECT_TRUE(r.exception);
+  // Three clean firings happened before the fault.
+  EXPECT_GE(r.instructions_fired, 3 * 4);
+}
+
+TEST(Exceptions, NoInjectionNoException) {
+  Program p;
+  const auto m = divider(p);
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  Engine engine(config_by_name("Compact2"));
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.exception);
+  EXPECT_EQ(r.distinct_fired, r.static_size);
+}
+
+TEST(Exceptions, AthrowCompletesAsExceptionalReturn) {
+  // athrow is a Return-group instruction: it ends the method and hands
+  // control to the GPP (§6.3).
+  Program p;
+  p.classes["E"] = bytecode::ClassDef{"E", {}, {}};
+  Assembler a(p, "t.boom()V", "test");
+  a.returns(ValueType::Void);
+  a.new_object("E");
+  a.op(Op::athrow);
+  const auto m = a.build();
+  const auto graph = fabric::build_dataflow_graph(m, p.pool);
+  Engine engine(config_by_name("Compact2"));
+  BranchPredictor bp(BranchPredictor::Scenario::BP1);
+  const RunMetrics r = engine.run(m, graph, bp);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace javaflow::sim

@@ -1,0 +1,186 @@
+// Tests for the §6.4 folding enhancement: pure stack-move elimination
+// with producer->consumer rewiring.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "core/javaflow.hpp"
+#include "fabric/folding.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow::fabric {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+TEST(Folding, DupIsElidedAndProducerFansOut) {
+  Program p;
+  Assembler a(p, "t.dup()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(3);        // 0
+  a.op(Op::dup);      // 1 (mover)
+  a.op(Op::imul);     // 2
+  a.op(Op::ireturn);  // 3
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  EXPECT_EQ(f.elided, 1);
+  ASSERT_EQ(f.method.code.size(), 3u);
+  EXPECT_EQ(f.method.code[0].op, Op::iconst_3);
+  EXPECT_EQ(f.method.code[1].op, Op::imul);
+  // iconst now feeds BOTH imul sides directly — fan-out 2 after folding.
+  EXPECT_EQ(f.graph.fan_out(0), 2u);
+}
+
+TEST(Folding, SwapRoutesSidesDirectly) {
+  Program p;
+  Assembler a(p, "t.swap()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(7);        // 0
+  a.iconst(3);        // 1
+  a.op(Op::swap);     // 2 (mover)
+  a.op(Op::isub);     // 3: computes 3 - 7
+  a.op(Op::ireturn);  // 4
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  EXPECT_EQ(f.elided, 1);
+  // After folding, isub (new index 2) side 1 (top) is the value swap
+  // moved to the top: iconst_7 (new index 0).
+  const auto s1 = f.graph.producers_of(2, 1);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].producer, 0);
+  const auto s2 = f.graph.producers_of(2, 2);
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2[0].producer, 1);
+}
+
+TEST(Folding, PopDropsTheEdgeEntirely) {
+  Program p;
+  Assembler a(p, "t.pop()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(1);        // 0: value discarded by pop
+  a.iconst(2);        // 1
+  a.op(Op::swap);     // 2
+  a.op(Op::pop);      // 3: discards the 1
+  a.op(Op::ireturn);  // 4: returns 2
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  EXPECT_EQ(f.elided, 2);  // swap + pop
+  ASSERT_EQ(f.method.code.size(), 3u);
+  // iconst_1's value goes nowhere after folding.
+  EXPECT_EQ(f.graph.fan_out(0), 0u);
+  // ireturn consumes iconst_2.
+  EXPECT_EQ(f.graph.producers_of(2, 1)[0].producer, 1);
+}
+
+TEST(Folding, BranchTargetMoversAreKept) {
+  Program p;
+  Assembler a(p, "t.target(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto join = a.new_label();
+  a.iconst(5).iconst(6);
+  a.iload(0).ifle(join);
+  a.iinc(0, 1);
+  a.bind(join);
+  a.op(Op::swap);  // branch target: must stay resident
+  a.op(Op::isub).op(Op::ireturn);
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  EXPECT_EQ(f.elided, 0);
+  EXPECT_EQ(f.method.code.size(), m.code.size());
+}
+
+TEST(Folding, BranchTargetsRemapAcrossElisions) {
+  Program p;
+  Assembler a(p, "t.remap(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto skip = a.new_label();
+  a.iconst(1).op(Op::dup).op(Op::iadd).istore(0);  // dup elided
+  a.iload(0).ifle(skip);
+  a.iinc(0, 1);
+  a.bind(skip);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  EXPECT_EQ(f.elided, 1);
+  // The branch still lands on the first instruction after the arm.
+  for (const auto& inst : f.method.code) {
+    if (inst.is_branch()) {
+      EXPECT_EQ(f.method.code[static_cast<std::size_t>(inst.target)].op,
+                Op::iload_0);
+    }
+  }
+}
+
+TEST(Folding, FoldedImageExecutesOnTheMachine) {
+  Program p;
+  Assembler a(p, "t.run()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(3).op(Op::dup).op(Op::imul);   // 9
+  a.iconst(2).op(Op::swap).op(Op::isub);  // 9 - 2... (stack order play)
+  a.op(Op::ireturn);
+  const auto m = a.build();
+  const FoldedMethod f = fold_moves(m, p.pool);
+  ASSERT_TRUE(f.ok);
+  ASSERT_GT(f.elided, 0);
+
+  sim::Engine engine(sim::config_by_name("Compact2"));
+  sim::BranchPredictor bp(sim::BranchPredictor::Scenario::BP1);
+  const auto folded = engine.run(f.method, f.graph, bp);
+  ASSERT_TRUE(folded.completed);
+  const auto unfolded_graph = build_dataflow_graph(m, p.pool);
+  sim::BranchPredictor bp2(sim::BranchPredictor::Scenario::BP1);
+  const auto unfolded = engine.run(m, unfolded_graph, bp2);
+  ASSERT_TRUE(unfolded.completed);
+  // Folding reduces both resident nodes and elapsed cycles.
+  EXPECT_LT(folded.static_size, unfolded.static_size);
+  EXPECT_LE(folded.mesh_cycles, unfolded.mesh_cycles);
+}
+
+TEST(Folding, FoldableCountOverKernels) {
+  workloads::CorpusOptions opt;
+  opt.total_methods = 0;
+  const workloads::Corpus c = workloads::make_corpus(opt);
+  std::int32_t total = 0, foldable = 0;
+  for (const auto& m : c.program.methods) {
+    total += static_cast<std::int32_t>(m.code.size());
+    foldable += foldable_count(m);
+    const FoldedMethod f = fold_moves(m, c.program.pool);
+    ASSERT_TRUE(f.ok) << m.name;
+    EXPECT_EQ(f.elided, foldable_count(m)) << m.name;
+    EXPECT_EQ(f.method.code.size(), m.code.size() -
+                                        static_cast<std::size_t>(f.elided))
+        << m.name;
+  }
+  // Kernels use dup/swap sparingly (JAVAC style); folding exists but is
+  // a small win here — the big §6.4 target (locals folding) is future
+  // work in the paper too.
+  EXPECT_GE(foldable, 0);
+  EXPECT_LT(foldable, total / 4);
+}
+
+TEST(Folding, FoldedCorpusMethodsStillComplete) {
+  const workloads::Corpus c = workloads::make_corpus({});
+  sim::Engine engine(sim::config_by_name("Hetero2"));
+  int executed = 0;
+  for (std::size_t i = 0; i < c.program.methods.size(); i += 97) {
+    const auto& m = c.program.methods[i];
+    const FoldedMethod f = fold_moves(m, c.program.pool);
+    ASSERT_TRUE(f.ok) << m.name;
+    sim::BranchPredictor bp(sim::BranchPredictor::Scenario::BP1);
+    const auto r = engine.run(f.method, f.graph, bp);
+    if (!r.fits) continue;
+    ASSERT_TRUE(r.completed) << m.name;
+    ++executed;
+  }
+  EXPECT_GT(executed, 10);
+}
+
+}  // namespace
+}  // namespace javaflow::fabric

@@ -1,0 +1,133 @@
+// Unit tests for the managed heap (objects, arrays, statics, strings)
+// and its exception conditions.
+#include <gtest/gtest.h>
+
+#include "jvm/heap.hpp"
+
+namespace javaflow::jvm {
+namespace {
+
+using bytecode::ClassDef;
+
+ClassDef point_class() {
+  return ClassDef{"Point",
+                  {{"x", ValueType::Double}, {"y", ValueType::Double}},
+                  {{"count", ValueType::Int}}};
+}
+
+TEST(Heap, ObjectFieldsDefaultInitialized) {
+  Heap h;
+  const ClassDef cls = point_class();
+  const Ref obj = h.new_object(cls);
+  EXPECT_NE(obj, kNull);
+  EXPECT_EQ(h.get_field(obj, 0).type, ValueType::Double);
+  EXPECT_DOUBLE_EQ(h.get_field(obj, 0).as_fp(), 0.0);
+  EXPECT_EQ(h.class_of(obj), "Point");
+  EXPECT_TRUE(h.is_object(obj));
+  EXPECT_FALSE(h.is_array(obj));
+}
+
+TEST(Heap, FieldRoundTrip) {
+  Heap h;
+  const ClassDef cls = point_class();
+  const Ref obj = h.new_object(cls);
+  h.put_field(obj, 1, Value::make_double(2.5));
+  EXPECT_DOUBLE_EQ(h.get_field(obj, 1).as_fp(), 2.5);
+}
+
+TEST(Heap, NullDereferenceThrows) {
+  Heap h;
+  EXPECT_THROW(h.get_field(kNull, 0), JvmException);
+  EXPECT_THROW(h.array_get(kNull, 0), JvmException);
+  EXPECT_THROW(h.array_length(kNull), JvmException);
+}
+
+TEST(Heap, FieldSlotOutOfRangeThrows) {
+  Heap h;
+  const ClassDef cls = point_class();
+  const Ref obj = h.new_object(cls);
+  EXPECT_THROW(h.get_field(obj, 7), JvmException);
+  EXPECT_THROW(h.put_field(obj, -1, Value::make_int(0)), JvmException);
+}
+
+TEST(Heap, ArrayBasics) {
+  Heap h;
+  const Ref arr = h.new_array(ValueType::Int, 8);
+  EXPECT_EQ(h.array_length(arr), 8);
+  EXPECT_TRUE(h.is_array(arr));
+  EXPECT_EQ(h.array_element_type(arr), ValueType::Int);
+  h.array_set(arr, 3, Value::make_int(42));
+  EXPECT_EQ(h.array_get(arr, 3).as_int(), 42);
+}
+
+TEST(Heap, ArrayBoundsThrow) {
+  Heap h;
+  const Ref arr = h.new_array(ValueType::Int, 4);
+  EXPECT_THROW(h.array_get(arr, 4), JvmException);
+  EXPECT_THROW(h.array_get(arr, -1), JvmException);
+  EXPECT_THROW(h.array_set(arr, 100, Value::make_int(0)), JvmException);
+}
+
+TEST(Heap, NegativeArraySizeThrows) {
+  Heap h;
+  EXPECT_THROW(h.new_array(ValueType::Int, -5), JvmException);
+}
+
+TEST(Heap, ArrayOpsOnObjectThrow) {
+  Heap h;
+  const Ref obj = h.new_object(point_class());
+  EXPECT_THROW(h.array_length(obj), JvmException);
+  EXPECT_THROW(h.array_get(obj, 0), JvmException);
+}
+
+TEST(Heap, MultiDimensionalArraysAreRectangular) {
+  Heap h;
+  const Ref mat = h.new_multi_array(ValueType::Double, {3, 4});
+  EXPECT_EQ(h.array_length(mat), 3);
+  for (int r = 0; r < 3; ++r) {
+    const Ref row = h.array_get(mat, r).as_ref();
+    EXPECT_EQ(h.array_length(row), 4);
+    EXPECT_EQ(h.array_element_type(row), ValueType::Double);
+  }
+  // Rows are distinct objects.
+  EXPECT_NE(h.array_get(mat, 0).as_ref(), h.array_get(mat, 1).as_ref());
+}
+
+TEST(Heap, ThreeDimensionalArray) {
+  Heap h;
+  const Ref cube = h.new_multi_array(ValueType::Int, {2, 3, 4});
+  const Ref plane = h.array_get(cube, 1).as_ref();
+  const Ref row = h.array_get(plane, 2).as_ref();
+  EXPECT_EQ(h.array_length(row), 4);
+}
+
+TEST(Heap, StringsRoundTrip) {
+  Heap h;
+  const Ref s = h.new_string("hello, fabric");
+  EXPECT_EQ(h.read_string(s), "hello, fabric");
+  EXPECT_EQ(h.array_length(s), 13);
+  EXPECT_EQ(h.array_get(s, 0).as_int(), 'h');
+}
+
+TEST(Heap, StaticsLazilyInitializedPerClass) {
+  Heap h;
+  const ClassDef cls = point_class();
+  EXPECT_EQ(h.get_static(cls, 0).as_int(), 0);
+  h.put_static(cls, 0, Value::make_int(7));
+  EXPECT_EQ(h.get_static(cls, 0).as_int(), 7);
+  EXPECT_THROW(h.get_static(cls, 5), JvmException);
+}
+
+TEST(Heap, HandlesAreStable) {
+  Heap h;
+  const Ref a = h.new_array(ValueType::Int, 1);
+  const Ref b = h.new_array(ValueType::Int, 1);
+  h.array_set(a, 0, Value::make_int(1));
+  h.array_set(b, 0, Value::make_int(2));
+  EXPECT_EQ(h.array_get(a, 0).as_int(), 1);
+  EXPECT_EQ(h.array_get(b, 0).as_int(), 2);
+  EXPECT_EQ(h.object_count(), 2u);
+}
+
+}  // namespace
+}  // namespace javaflow::jvm

@@ -1,0 +1,103 @@
+// Tests for the on-chip network models (serial chain, mesh, rings).
+#include <gtest/gtest.h>
+
+#include "net/mesh_network.hpp"
+#include "net/message.hpp"
+#include "net/ring_network.hpp"
+#include "net/serial_network.hpp"
+
+namespace javaflow::net {
+namespace {
+
+TEST(SerialNetwork, HopsAreChainDistance) {
+  SerialNetwork s(100);
+  EXPECT_EQ(s.hops(0, 0), 0);
+  EXPECT_EQ(s.hops(0, 5), 5);
+  EXPECT_EQ(s.hops(7, 2), 5);  // reverse network is symmetric
+}
+
+TEST(SerialNetwork, CollapsedTransitIsFree) {
+  SerialNetwork s(100);
+  EXPECT_EQ(s.transit_ticks(0, 50, /*collapsed=*/true), 0);
+  EXPECT_EQ(s.transit_ticks(0, 50, /*collapsed=*/false), 50);
+}
+
+TEST(MeshNetwork, SerpentineCoordinates) {
+  MeshNetwork m(10);
+  // Row 0 runs left-to-right, row 1 right-to-left.
+  EXPECT_EQ(m.coord_of(0).x, 0);
+  EXPECT_EQ(m.coord_of(0).y, 0);
+  EXPECT_EQ(m.coord_of(9).x, 9);
+  EXPECT_EQ(m.coord_of(10).x, 9);  // serpentine turn
+  EXPECT_EQ(m.coord_of(10).y, 1);
+  EXPECT_EQ(m.coord_of(19).x, 0);
+  EXPECT_EQ(m.coord_of(20).x, 0);
+  EXPECT_EQ(m.coord_of(20).y, 2);
+}
+
+TEST(MeshNetwork, AdjacentChainSlotsAreAdjacentInMesh) {
+  // The property the serpentine layout exists for: linear neighbours stay
+  // one mesh hop apart, including across row turns.
+  MeshNetwork m(10);
+  for (int slot = 0; slot < 99; ++slot) {
+    EXPECT_EQ(m.distance(slot, slot + 1), 1) << "slot " << slot;
+  }
+}
+
+TEST(MeshNetwork, ManhattanDistance) {
+  MeshNetwork m(10);
+  // Slot 0 is (0,0); slot 25 is row 2 (left-to-right), x=5.
+  EXPECT_EQ(m.coord_of(25).x, 5);
+  EXPECT_EQ(m.coord_of(25).y, 2);
+  EXPECT_EQ(m.distance(0, 25), 7);
+  // Self-transfer still crosses the local router.
+  EXPECT_EQ(m.distance(33, 33), 1);
+}
+
+TEST(MeshNetwork, CollapsedDistanceIsOne) {
+  MeshNetwork m(10);
+  EXPECT_EQ(m.transit_mesh_cycles(0, 95, /*collapsed=*/true), 1);
+  EXPECT_GT(m.transit_mesh_cycles(0, 95, /*collapsed=*/false), 10);
+}
+
+TEST(RingNetwork, LatenciesAndBlocking) {
+  RingNetwork ring;
+  EXPECT_GT(ring.service_mesh_cycles(RingService::MemoryRead), 0);
+  EXPECT_GT(ring.service_mesh_cycles(RingService::GppService),
+            ring.service_mesh_cycles(RingService::MemoryRead));
+  // Posted writes do not stall the node (§6.3 Storage Operations).
+  EXPECT_FALSE(RingNetwork::blocking(RingService::MemoryWrite));
+  EXPECT_TRUE(RingNetwork::blocking(RingService::MemoryRead));
+  EXPECT_TRUE(RingNetwork::blocking(RingService::GppService));
+}
+
+TEST(RingNetwork, CountsRequests) {
+  RingNetwork ring;
+  ring.record_request(RingService::MemoryRead);
+  ring.record_request(RingService::MemoryRead);
+  ring.record_request(RingService::GppService);
+  EXPECT_EQ(ring.requests(RingService::MemoryRead), 2u);
+  EXPECT_EQ(ring.requests(RingService::GppService), 1u);
+  EXPECT_EQ(ring.requests(RingService::MemoryWrite), 0u);
+}
+
+TEST(Messages, CommandNamesMatchFigure14) {
+  EXPECT_EQ(command_name(Command::LoadInstruction), "CMD_LOAD_INSTRUCTION");
+  EXPECT_EQ(command_name(Command::SendAddressesDown),
+            "CMD_SEND_ADDRESSES_DOWN");
+  EXPECT_EQ(command_name(Command::SendNeedsUp), "CMD_SEND_NEEDS_UP");
+  EXPECT_EQ(command_name(Command::HeadToken), "HEAD_TOKEN");
+  EXPECT_EQ(command_name(Command::TailToken), "TAIL_TOKEN");
+  EXPECT_EQ(command_name(Command::QuieseToken), "QUIESE_TOKEN");
+}
+
+TEST(Messages, DataTypeMapping) {
+  using bytecode::ValueType;
+  EXPECT_EQ(data_type_for(ValueType::Int), DataType::Int);
+  EXPECT_EQ(data_type_for(ValueType::Double), DataType::Double);
+  EXPECT_EQ(data_type_for(ValueType::Ref), DataType::Ref);
+  EXPECT_EQ(data_type_for(ValueType::Void), DataType::None);
+}
+
+}  // namespace
+}  // namespace javaflow::net

@@ -1,0 +1,155 @@
+// Unit + property tests for the Appendix A opcode table.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bytecode/opcode.hpp"
+
+namespace javaflow::bytecode {
+namespace {
+
+std::vector<Op> all_ops() {
+  std::vector<Op> ops;
+  for (int b = 0; b < 256; ++b) {
+    if (is_valid_opcode(static_cast<std::uint8_t>(b))) {
+      ops.push_back(static_cast<Op>(b));
+    }
+  }
+  return ops;
+}
+
+TEST(OpcodeTable, HasFullArchitectedSet) {
+  // 198 architected opcodes (0x00..0xc9 minus the gaps at 0xba and 0xc4)
+  // plus the 7 interpreter-internal quick forms: 200 + 7.
+  EXPECT_EQ(all_ops().size(), 207u);
+}
+
+TEST(OpcodeTable, KnownEncodings) {
+  EXPECT_EQ(static_cast<int>(Op::nop), 0x00);
+  EXPECT_EQ(static_cast<int>(Op::iadd), 0x60);
+  EXPECT_EQ(static_cast<int>(Op::goto_), 0xa7);
+  EXPECT_EQ(static_cast<int>(Op::invokevirtual), 0xb6);
+  EXPECT_EQ(static_cast<int>(Op::getfield), 0xb4);
+  EXPECT_EQ(static_cast<int>(Op::multianewarray), 0xc5);
+}
+
+TEST(OpcodeTable, GapsAreInvalid) {
+  EXPECT_FALSE(is_valid_opcode(0xba));  // invokedynamic — not in the paper
+  EXPECT_FALSE(is_valid_opcode(0xc4));  // wide — linear form needs no wide
+  EXPECT_FALSE(is_valid_opcode(0xff));
+}
+
+class AllOpcodes : public ::testing::TestWithParam<Op> {};
+
+INSTANTIATE_TEST_SUITE_P(Table, AllOpcodes, ::testing::ValuesIn(all_ops()),
+                         [](const ::testing::TestParamInfo<Op>& info) {
+                           std::string n{op_name(info.param)};
+                           for (char& c : n) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Property: the verifier signature agrees with the pop/push counts for
+// every opcode with fixed counts.
+TEST_P(AllOpcodes, SignatureMatchesPopPush) {
+  const OpInfo& info = op_info(GetParam());
+  if (info.pop == kVarCount || info.push == kVarCount) {
+    EXPECT_NE(info.sig.find('?'), std::string_view::npos);
+    return;
+  }
+  const auto sep = info.sig.find('>');
+  ASSERT_NE(sep, std::string_view::npos) << info.name;
+  if (info.sig.find('?') != std::string_view::npos) return;  // pool-typed
+  EXPECT_EQ(info.sig.substr(0, sep).size(), info.pop) << info.name;
+  EXPECT_EQ(info.sig.substr(sep + 1).size(), info.push) << info.name;
+}
+
+// Property: every group maps to exactly one fabric node class and a
+// positive Table 17 execution cost.
+TEST_P(AllOpcodes, GroupMappingsAreTotal) {
+  const Group g = op_info(GetParam()).group;
+  const NodeType nt = node_type_for(g);
+  EXPECT_TRUE(nt == NodeType::Arithmetic || nt == NodeType::FloatingPoint ||
+              nt == NodeType::Storage || nt == NodeType::Control);
+  EXPECT_GE(execution_mesh_cycles(g), 1);
+  EXPECT_LE(execution_mesh_cycles(g), 10);
+}
+
+TEST_P(AllOpcodes, QuickFormsRoundTrip) {
+  const Op op = GetParam();
+  if (has_quick_form(op)) {
+    const Op q = quick_form(op);
+    EXPECT_NE(q, op);
+    EXPECT_TRUE(is_quick(q));
+    // Quick form keeps the pop/push behaviour of the base form.
+    EXPECT_EQ(op_info(q).pop, op_info(op).pop);
+    EXPECT_EQ(op_info(q).push, op_info(op).push);
+    EXPECT_EQ(op_info(q).group, op_info(op).group);
+  } else {
+    EXPECT_EQ(quick_form(op), op);
+  }
+}
+
+TEST(OpcodeTable, ExecutionCostsMatchTable17) {
+  EXPECT_EQ(execution_mesh_cycles(Group::ArithMove), 1);
+  EXPECT_EQ(execution_mesh_cycles(Group::FpArith), 10);
+  EXPECT_EQ(execution_mesh_cycles(Group::FpConversion), 5);
+  EXPECT_EQ(execution_mesh_cycles(Group::ArithInteger), 2);
+  EXPECT_EQ(execution_mesh_cycles(Group::MemRead), 2);
+  EXPECT_EQ(execution_mesh_cycles(Group::LocalRead), 2);
+  EXPECT_EQ(execution_mesh_cycles(Group::ControlFlow), 2);
+}
+
+TEST(OpcodeTable, HeterogeneousNodeTypes) {
+  EXPECT_EQ(node_type_for(Group::FpArith), NodeType::FloatingPoint);
+  EXPECT_EQ(node_type_for(Group::FpConversion), NodeType::FloatingPoint);
+  EXPECT_EQ(node_type_for(Group::MemRead), NodeType::Storage);
+  EXPECT_EQ(node_type_for(Group::MemWrite), NodeType::Storage);
+  EXPECT_EQ(node_type_for(Group::MemConstant), NodeType::Storage);
+  EXPECT_EQ(node_type_for(Group::Special), NodeType::Storage);
+  EXPECT_EQ(node_type_for(Group::ControlFlow), NodeType::Control);
+  EXPECT_EQ(node_type_for(Group::Call), NodeType::Control);
+  EXPECT_EQ(node_type_for(Group::Return), NodeType::Control);
+  EXPECT_EQ(node_type_for(Group::ArithInteger), NodeType::Arithmetic);
+  EXPECT_EQ(node_type_for(Group::LocalRead), NodeType::Arithmetic);
+}
+
+TEST(OpcodeTable, StaticMixCategories) {
+  EXPECT_EQ(static_mix_category(Group::ArithInteger), StaticMixCategory::Arith);
+  EXPECT_EQ(static_mix_category(Group::LocalWrite), StaticMixCategory::Arith);
+  EXPECT_EQ(static_mix_category(Group::FpArith), StaticMixCategory::Float);
+  EXPECT_EQ(static_mix_category(Group::Call), StaticMixCategory::Control);
+  EXPECT_EQ(static_mix_category(Group::MemWrite), StaticMixCategory::Storage);
+}
+
+TEST(OpcodeTable, ControlTransferGroups) {
+  EXPECT_TRUE(is_control_transfer(Group::ControlFlow));
+  EXPECT_TRUE(is_control_transfer(Group::Call));
+  EXPECT_TRUE(is_control_transfer(Group::Return));
+  EXPECT_FALSE(is_control_transfer(Group::ArithInteger));
+  EXPECT_FALSE(is_control_transfer(Group::MemRead));
+}
+
+TEST(OpcodeTable, PaperAppendixSpotChecks) {
+  // Table 30: iadd pop 2 push 1.
+  EXPECT_EQ(op_info(Op::iadd).pop, 2);
+  EXPECT_EQ(op_info(Op::iadd).push, 1);
+  // Table 32: lcmp grouped with FP arithmetic, pop 2 push 1.
+  EXPECT_EQ(op_info(Op::lcmp).group, Group::FpArith);
+  // Table 33: if_icmplt pop 2 push 0.
+  EXPECT_EQ(op_info(Op::if_icmplt).pop, 2);
+  EXPECT_EQ(op_info(Op::if_icmplt).push, 0);
+  // Table 38: iastore pop 3 push 0.
+  EXPECT_EQ(op_info(Op::iastore).pop, 3);
+  EXPECT_EQ(op_info(Op::iastore).push, 0);
+  // Table 39: iload_0 pop 0 push 1.
+  EXPECT_EQ(op_info(Op::iload_0).pop, 0);
+  EXPECT_EQ(op_info(Op::iload_0).push, 1);
+  // Calls are signature-dependent.
+  EXPECT_EQ(op_info(Op::invokestatic).pop, kVarCount);
+}
+
+}  // namespace
+}  // namespace javaflow::bytecode

@@ -1,0 +1,89 @@
+// Tests for the JAVAP-style disassembler.
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "bytecode/printer.hpp"
+
+namespace javaflow::bytecode {
+namespace {
+
+TEST(Printer, FormatsOperandKinds) {
+  Program p2;
+  p2.classes["C"] = ClassDef{"C", {{"f", ValueType::Int}}, {}};
+  Assembler b(p2, "t.all(AI)I", "bm");
+  b.args({ValueType::Ref, ValueType::Int}).returns(ValueType::Int);
+  auto skip2 = b.new_label();
+  b.iload(1);
+  b.emit_local(Op::iload, 9);
+  b.op(Op::iadd);
+  b.iinc(1, -3);
+  b.iconst(1000);
+  b.op(Op::iadd);
+  b.ifle(skip2);
+  b.aload(0).getfield("C", "f", ValueType::Int).op(Op::pop);
+  b.bind(skip2);
+  b.iload(1);
+  b.invokestatic("x.y(I)I", 1, ValueType::Int);
+  b.op(Op::ireturn);
+  const Method m = b.build();
+  const std::string text = disassemble(m, p2.pool);
+
+  EXPECT_NE(text.find("iload_1"), std::string::npos);
+  EXPECT_NE(text.find(" r9"), std::string::npos);
+  EXPECT_NE(text.find("r1, -3"), std::string::npos);
+  EXPECT_NE(text.find("sipush"), std::string::npos);
+  EXPECT_NE(text.find(" 1000"), std::string::npos);
+  EXPECT_NE(text.find("-> "), std::string::npos);           // branch target
+  EXPECT_NE(text.find("<field C.f>"), std::string::npos);   // cp field
+  EXPECT_NE(text.find("<method x.y(I)I>"), std::string::npos);
+  EXPECT_NE(text.find("locals="), std::string::npos);
+}
+
+TEST(Printer, FormatsSwitchTables) {
+  Program p;
+  Assembler a(p, "t.sw(I)I", "bm");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto c0 = a.new_label(), dflt = a.new_label();
+  a.iload(0);
+  a.tableswitch(7, {c0}, dflt);
+  a.bind(c0);
+  a.iconst(1).op(Op::ireturn);
+  a.bind(dflt);
+  a.iconst(0).op(Op::ireturn);
+  const Method m = a.build();
+  const std::string text = disassemble(m, p.pool);
+  EXPECT_NE(text.find("tableswitch"), std::string::npos);
+  EXPECT_NE(text.find("7->2"), std::string::npos);
+  EXPECT_NE(text.find("default->4"), std::string::npos);
+}
+
+TEST(Printer, FormatsConstants) {
+  Program p;
+  Assembler a(p, "t.c()D", "bm");
+  a.returns(ValueType::Double);
+  a.sconst("hi").op(Op::pop);
+  a.iconst(1 << 20).op(Op::pop);
+  a.dconst(0.125);
+  a.op(Op::dreturn);
+  const Method m = a.build();
+  const std::string text = disassemble(m, p.pool);
+  EXPECT_NE(text.find("<str \"hi\">"), std::string::npos);
+  EXPECT_NE(text.find("<int 1048576>"), std::string::npos);
+  EXPECT_NE(text.find("<double 0.125>"), std::string::npos);
+}
+
+TEST(Printer, SingleInstructionFormat) {
+  Program p;
+  Assembler a(p, "t.one()V", "bm");
+  a.returns(ValueType::Void);
+  a.op(Op::nop);
+  a.op(Op::return_);
+  const Method m = a.build();
+  EXPECT_NE(format_instruction(m, 0, p.pool).find("nop"),
+            std::string::npos);
+  EXPECT_NE(format_instruction(m, 1, p.pool).find("return_"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace javaflow::bytecode

@@ -1,0 +1,165 @@
+// Tests for the two-pass serial address-resolution protocol (§6.2).
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hpp"
+#include "fabric/loader.hpp"
+#include "fabric/resolver.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow::fabric {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+Fabric compact_fabric() {
+  FabricOptions opt;
+  opt.layout = LayoutKind::Compact;
+  return Fabric(opt);
+}
+
+ResolutionResult resolve_on_compact(const bytecode::Method& m,
+                                    const bytecode::ConstantPool& pool) {
+  const Fabric f = compact_fabric();
+  const Placement pl = load_method(f, m);
+  return resolve(f, m, pl, pool);
+}
+
+bytecode::Method straight_line(Program& p, int adds) {
+  Assembler a(p, "t.line()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(1);
+  for (int k = 0; k < adds; ++k) {
+    a.iconst(k).op(Op::iadd);
+  }
+  a.op(Op::ireturn);
+  return a.build();
+}
+
+TEST(Resolver, CompletesAndCountsDflows) {
+  Program p;
+  const auto m = straight_line(p, 10);
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.total_dflows, r.graph.total_dflows);
+  EXPECT_GT(r.total_dflows, 10);
+  EXPECT_EQ(r.back_merges, 0);
+}
+
+TEST(Resolver, TotalCyclesNearTwiceInstructionCount) {
+  // Table 7: the two resolution passes complete "in approximately twice
+  // the number of byte code instructions loaded".
+  Program p;
+  const auto m = straight_line(p, 40);
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  const auto n = static_cast<double>(m.code.size());
+  EXPECT_GE(r.total_cycles, static_cast<std::int64_t>(1.5 * n));
+  EXPECT_LE(r.total_cycles, static_cast<std::int64_t>(3.0 * n));
+}
+
+TEST(Resolver, QueueDepthReflectsNeedBursts) {
+  // A deep stack chain makes consumers emit several needs each; queue
+  // depth must be >= the largest single-consumer need count (Table 11).
+  Program p;
+  Assembler a(p, "t.deep()V", "test");
+  a.returns(ValueType::Void);
+  a.iconst(1).iconst(2).iconst(3).iconst(4);
+  a.invokestatic("t.sink(IIII)V", 4, ValueType::Void);  // pop 4 at once
+  a.op(Op::return_);
+  const auto m = a.build();
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.max_queue_up, 4);
+  EXPECT_EQ(r.need_messages, 4 + 0);  // only the call pops
+}
+
+TEST(Resolver, JumpStatsSeparateDirections) {
+  Program p;
+  Assembler a(p, "t.jumps(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label(), skip = a.new_label();
+  a.iload(0).ifle(skip);   // forward conditional
+  a.iinc(0, 1);
+  a.bind(skip);
+  a.goto_(test);           // forward goto
+  a.bind(body);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);   // backward conditional
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.forward_jumps.count, 2);
+  EXPECT_EQ(r.back_jumps.count, 1);
+  EXPECT_GT(r.forward_jumps.avg_length, 0.0);
+  EXPECT_GT(r.back_jumps.avg_length, 0.0);
+}
+
+TEST(Resolver, BackTargetsExtendPhaseA) {
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  const auto m = a.build();
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  // The back-target address token wraps the loop: phase A exceeds one
+  // full circulation.
+  EXPECT_GT(r.phase_a_cycles,
+            static_cast<std::int64_t>(m.code.size()) + 1);
+}
+
+TEST(Resolver, FanoutAndArcStatisticsMatchGraph) {
+  Program p;
+  Assembler a(p, "t.dup()I", "test");
+  a.returns(ValueType::Int);
+  a.iconst(3).op(Op::dup).op(Op::imul).op(Op::ireturn);
+  const auto m = a.build();
+  const ResolutionResult r = resolve_on_compact(m, p.pool);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.fanout_max, 2);  // dup feeds both imul sides
+  EXPECT_GE(r.arc_avg, 1.0);
+  EXPECT_LE(r.arc_avg, 2.0);
+}
+
+// Corpus property: resolution succeeds for every kernel and never finds a
+// back merge; cycles stay near 2x instructions (the Table 7 observation).
+class KernelResolution : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static const workloads::Corpus& corpus() {
+    static workloads::Corpus c = [] {
+      workloads::CorpusOptions opt;
+      opt.total_methods = 0;
+      return workloads::make_corpus(opt);
+    }();
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelResolution,
+                         ::testing::Range<std::size_t>(0, 66));
+
+TEST_P(KernelResolution, ResolvesCleanly) {
+  const auto& c = corpus();
+  ASSERT_LT(GetParam(), c.program.methods.size());
+  const bytecode::Method& m = c.program.methods[GetParam()];
+  const ResolutionResult r = resolve_on_compact(m, c.program.pool);
+  ASSERT_TRUE(r.ok) << m.name;
+  EXPECT_EQ(r.back_merges, 0) << m.name;
+  const auto n = static_cast<std::int64_t>(m.code.size());
+  EXPECT_LE(r.total_cycles, 4 * n + 64) << m.name;
+  EXPECT_GE(r.total_cycles, n) << m.name;
+}
+
+}  // namespace
+}  // namespace javaflow::fabric

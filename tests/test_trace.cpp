@@ -1,0 +1,146 @@
+// Tests for trace-driven execution: interpreter outcomes replayed on the
+// DataFlow machine.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.hpp"
+#include "bytecode/assembler.hpp"
+#include "core/javaflow.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace javaflow::analysis {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+TEST(Trace, CollectorRecordsBranchOutcomes) {
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+
+  jvm::Interpreter vm(p);
+  TraceCollector collector(vm);
+  vm.invoke("t.loop(I)I", {jvm::Value::make_int(3)});
+  // goto once + latch evaluated 4 times (3 taken + 1 exit).
+  EXPECT_EQ(collector.events_for("t.loop(I)I"), 5u);
+}
+
+TEST(Trace, ReplayFollowsRealIterationCount) {
+  // A loop that really runs 3 times must fire its body exactly 3 times
+  // under trace replay — not the 9 times of BP-1's 90% rule.
+  Program p;
+  Assembler a(p, "t.loop3(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);        // 0
+  a.bind(body);
+  a.iinc(0, -1);        // 1
+  a.bind(test);
+  a.iload(0);           // 2
+  a.ifgt(body);         // 3
+  a.iload(0);           // 4
+  a.op(Op::ireturn);    // 5
+  p.methods.push_back(a.build());
+  const bytecode::Method& m = p.methods.back();
+
+  jvm::Interpreter vm(p);
+  TraceCollector collector(vm);
+  vm.invoke(m, {jvm::Value::make_int(3)});
+
+  JavaFlowMachine machine(sim::config_by_name("Compact2"));
+  const DeployedMethod d = machine.deploy(m, p.pool);
+  ASSERT_TRUE(d.ok());
+  sim::BranchPredictor trace = collector.predictor_for(m);
+  const auto r = machine.execute(d, trace);
+  ASSERT_TRUE(r.completed);
+  // goto 1 + body 3 + (iload,ifgt) 4x + exit pair 1.
+  EXPECT_EQ(r.instructions_fired, 1 + 3 + 4 + 4 + 1 + 1);
+
+  // The synthetic BP-1 scenario runs the loop 9 times instead.
+  const auto bp1 = machine.execute(d, sim::BranchPredictor::Scenario::BP1);
+  EXPECT_EQ(bp1.instructions_fired, 1 + 9 + 10 + 10 + 1 + 1);
+}
+
+TEST(Trace, SwitchArmsReplayInOrder) {
+  Program p;
+  Assembler a(p, "t.sw(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto c0 = a.new_label(), c1 = a.new_label(), dflt = a.new_label();
+  a.iload(0);
+  a.tableswitch(0, {c0, c1}, dflt);
+  a.bind(c0);
+  a.iconst(10).op(Op::ireturn);
+  a.bind(c1);
+  a.iconst(11).op(Op::ireturn);
+  a.bind(dflt);
+  a.iconst(-1).op(Op::ireturn);
+  p.methods.push_back(a.build());
+  const bytecode::Method& m = p.methods.back();
+
+  jvm::Interpreter vm(p);
+  TraceCollector collector(vm);
+  vm.invoke(m, {jvm::Value::make_int(1)});  // arm 1
+
+  JavaFlowMachine machine(sim::config_by_name("Compact2"));
+  const DeployedMethod d = machine.deploy(m, p.pool);
+  sim::BranchPredictor trace = collector.predictor_for(m);
+  const auto r = machine.execute(d, trace);
+  ASSERT_TRUE(r.completed);
+  // Path: iload, tableswitch, iconst_11's return pair => 4 fired.
+  EXPECT_EQ(r.instructions_fired, 4);
+}
+
+TEST(Trace, DetachStopsRecording) {
+  Program p;
+  Assembler a(p, "t.m(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto skip = a.new_label();
+  a.iload(0).ifle(skip);
+  a.iinc(0, 1);
+  a.bind(skip);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+
+  jvm::Interpreter vm(p);
+  TraceCollector collector(vm);
+  vm.invoke("t.m(I)I", {jvm::Value::make_int(1)});
+  const std::size_t before = collector.events_for("t.m(I)I");
+  collector.detach();
+  vm.invoke("t.m(I)I", {jvm::Value::make_int(1)});
+  EXPECT_EQ(collector.events_for("t.m(I)I"), before);
+}
+
+TEST(Trace, EmptyTraceTerminatesExecution) {
+  // With no recorded outcomes, Trace mode exits loops immediately so the
+  // machine still completes (the predictor's safety default).
+  Program p;
+  Assembler a(p, "t.loop(I)I", "test");
+  a.args({ValueType::Int}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+
+  JavaFlowMachine machine(sim::config_by_name("Compact2"));
+  const DeployedMethod d = machine.deploy(p.methods.back(), p.pool);
+  sim::BranchPredictor empty(sim::BranchPredictor::Scenario::Trace);
+  const auto r = machine.execute(d, empty);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace javaflow::analysis

@@ -1,0 +1,203 @@
+// Workload-suite tests: every benchmark driver runs end-to-end under the
+// reference interpreter and validates its own results (FFT round trip,
+// LZW round trip, SHA vs host oracle, ...).
+#include <gtest/gtest.h>
+
+#include "jvm/interpreter.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace javaflow::workloads {
+namespace {
+
+struct SuiteHolder {
+  static Suite& get() {
+    static Suite s = make_suite();
+    return s;
+  }
+};
+
+class BenchmarkDrivers : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkDrivers,
+    ::testing::Range<std::size_t>(0, 14),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string n = SuiteHolder::get().benchmarks[info.param].name;
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST_P(BenchmarkDrivers, RunsAndValidates) {
+  Suite& suite = SuiteHolder::get();
+  ASSERT_LT(GetParam(), suite.benchmarks.size());
+  Benchmark& bm = suite.benchmarks[GetParam()];
+  jvm::Profiler profiler;
+  jvm::Interpreter vm(suite.program, &profiler);
+  ASSERT_NO_THROW(bm.run(vm)) << bm.name;
+  // The driver exercised at least one of its declared hot methods.
+  std::uint64_t hot_ops = 0;
+  for (const std::string& name : bm.methods) {
+    auto it = profiler.methods().find(name);
+    if (it != profiler.methods().end()) hot_ops += it->second.total_ops;
+  }
+  EXPECT_GT(hot_ops, 0u) << bm.name;
+}
+
+TEST(Workloads, SuiteHasFourteenBenchmarkAnalogues) {
+  // 8 SpecJvm2008 analogues + 6 SpecJvm98 analogues, matching the paper's
+  // two benchmark groups (Tables 3-4).
+  Suite& suite = SuiteHolder::get();
+  int jvm2008 = 0, jvm98 = 0;
+  for (const Benchmark& b : suite.benchmarks) {
+    if (b.suite == "SpecJvm2008") ++jvm2008;
+    if (b.suite == "SpecJvm98") ++jvm98;
+  }
+  EXPECT_EQ(jvm2008, 8);
+  EXPECT_EQ(jvm98, 6);
+  EXPECT_EQ(suite.benchmarks.size(), 14u);
+}
+
+TEST(Workloads, HotMethodsExistInProgram) {
+  Suite& suite = SuiteHolder::get();
+  for (const Benchmark& b : suite.benchmarks) {
+    for (const std::string& name : b.methods) {
+      EXPECT_NE(suite.program.find(name), nullptr)
+          << b.name << " lists missing method " << name;
+    }
+  }
+}
+
+TEST(Workloads, ScientificBenchmarksAreDominatedByOneMethod) {
+  // Table 3's observation: each scientific benchmark has 1-2 methods
+  // covering nearly all executed ops.
+  Suite& suite = SuiteHolder::get();
+  jvm::Profiler profiler;
+  jvm::Interpreter vm(suite.program, &profiler);
+  for (Benchmark& b : suite.benchmarks) {
+    if (b.name.rfind("scimark.", 0) == 0) b.run(vm);
+  }
+  // LU: factor must dominate the benchmark's op count.
+  std::uint64_t factor_ops =
+      profiler.methods().at("scimark.lu.LU.factor(AA)I").total_ops;
+  std::uint64_t lu_total = 0;
+  for (const auto& [name, stats] : profiler.methods()) {
+    if (stats.benchmark == "scimark.lu.large") lu_total += stats.total_ops;
+  }
+  EXPECT_GT(factor_ops, lu_total / 2);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  bytecode::Program p1, p2;
+  GeneratorOptions opt;
+  opt.target_size = 60;
+  const auto m1 = generate_method(p1, "g.a(IIADFJ)I", "bm", 42, opt);
+  const auto m2 = generate_method(p2, "g.a(IIADFJ)I", "bm", 42, opt);
+  ASSERT_EQ(m1.code.size(), m2.code.size());
+  for (std::size_t i = 0; i < m1.code.size(); ++i) {
+    EXPECT_EQ(m1.code[i].op, m2.code[i].op) << i;
+    EXPECT_EQ(m1.code[i].target, m2.code[i].target) << i;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  bytecode::Program p;
+  GeneratorOptions opt;
+  opt.target_size = 60;
+  const auto m1 = generate_method(p, "g.a(IIADFJ)I", "bm", 1, opt);
+  const auto m2 = generate_method(p, "g.b(IIADFJ)I", "bm", 2, opt);
+  bool differ = m1.code.size() != m2.code.size();
+  for (std::size_t i = 0; !differ && i < m1.code.size(); ++i) {
+    differ = m1.code[i].op != m2.code[i].op;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generator, RespectsTinyTargets) {
+  bytecode::Program p;
+  GeneratorOptions opt;
+  opt.target_size = 5;
+  const auto m = generate_method(p, "g.tiny(IIADFJ)I", "bm", 9, opt);
+  EXPECT_LT(m.code.size(), 10u);
+  EXPECT_GE(m.code.size(), 2u);
+}
+
+TEST(Generator, LoopsAreBottomTest) {
+  // Generated loops use JAVAC's shape: a forward goto to a conditional
+  // backward latch. Thus every backward branch is conditional.
+  bytecode::Program p;
+  GeneratorOptions opt;
+  opt.target_size = 200;
+  opt.loop_weight = 0.5;
+  const auto m = generate_method(p, "g.loops(IIADFJ)I", "bm", 77, opt);
+  int backward = 0;
+  for (std::size_t i = 0; i < m.code.size(); ++i) {
+    const auto& inst = m.code[i];
+    if (inst.is_branch() && inst.target < static_cast<std::int32_t>(i)) {
+      ++backward;
+      EXPECT_NE(inst.op, bytecode::Op::goto_)
+          << "backward goto at " << i << " (head-test loop shape)";
+    }
+  }
+  EXPECT_GT(backward, 0);
+}
+
+TEST(Corpus, MatchesTable16Population) {
+  const Corpus c = make_corpus({});
+  EXPECT_EQ(c.program.methods.size(), 1605u);  // Filter All
+  std::size_t filter1 = 0;
+  for (const auto& m : c.program.methods) {
+    if (m.code.size() > 10 && m.code.size() < 1000) ++filter1;
+  }
+  // Paper: 915 of 1605; the corpus targets the same ballpark.
+  EXPECT_GT(filter1, 800u);
+  EXPECT_LT(filter1, 1100u);
+}
+
+TEST(Corpus, SizeDistributionMatchesTable9Shape) {
+  const Corpus c = make_corpus({});
+  std::vector<std::size_t> band;
+  for (const auto& m : c.program.methods) {
+    if (m.code.size() > 10 && m.code.size() < 1000) {
+      band.push_back(m.code.size());
+    }
+  }
+  std::sort(band.begin(), band.end());
+  const double median = static_cast<double>(band[band.size() / 2]);
+  double mean = 0;
+  for (const std::size_t s : band) mean += static_cast<double>(s);
+  mean /= static_cast<double>(band.size());
+  EXPECT_NEAR(median, 29.0, 12.0);  // Table 9 median 29
+  EXPECT_NEAR(mean, 56.0, 18.0);    // Table 9 mean 56
+  EXPECT_GT(band.back(), 300u);     // a real large-method tail
+}
+
+TEST(Corpus, AllMethodsVerifyAndHaveReturn) {
+  const Corpus c = make_corpus({});
+  for (const auto& m : c.program.methods) {
+    ASSERT_FALSE(m.code.empty()) << m.name;
+    // Built through the assembler => verified; spot-check invariants.
+    EXPECT_GT(m.max_locals, 0) << m.name;
+    bool has_return = false;
+    for (const auto& inst : m.code) {
+      if (inst.group() == bytecode::Group::Return) has_return = true;
+    }
+    EXPECT_TRUE(has_return) << m.name;
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const Corpus a = make_corpus({});
+  const Corpus b = make_corpus({});
+  ASSERT_EQ(a.program.methods.size(), b.program.methods.size());
+  for (std::size_t i = 0; i < a.program.methods.size(); ++i) {
+    EXPECT_EQ(a.program.methods[i].code.size(),
+              b.program.methods[i].code.size());
+  }
+}
+
+}  // namespace
+}  // namespace javaflow::workloads
