@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_folding.dir/bench/ablation_folding.cpp.o"
+  "CMakeFiles/ablation_folding.dir/bench/ablation_folding.cpp.o.d"
+  "bench/ablation_folding"
+  "bench/ablation_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idus.dir/bench/ablation_idus.cpp.o"
+  "CMakeFiles/ablation_idus.dir/bench/ablation_idus.cpp.o.d"
+  "bench/ablation_idus"
+  "bench/ablation_idus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_resolution_example.dir/bench/fig21_resolution_example.cpp.o"
+  "CMakeFiles/fig21_resolution_example.dir/bench/fig21_resolution_example.cpp.o.d"
+  "bench/fig21_resolution_example"
+  "bench/fig21_resolution_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_resolution_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_nextdouble.dir/bench/fig27_nextdouble.cpp.o"
+  "CMakeFiles/fig27_nextdouble.dir/bench/fig27_nextdouble.cpp.o.d"
+  "bench/fig27_nextdouble"
+  "bench/fig27_nextdouble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_nextdouble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

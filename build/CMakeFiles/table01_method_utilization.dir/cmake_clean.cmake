@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_method_utilization.dir/bench/table01_method_utilization.cpp.o"
+  "CMakeFiles/table01_method_utilization.dir/bench/table01_method_utilization.cpp.o.d"
+  "bench/table01_method_utilization"
+  "bench/table01_method_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_method_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

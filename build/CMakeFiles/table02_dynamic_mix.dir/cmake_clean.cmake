@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_dynamic_mix.dir/bench/table02_dynamic_mix.cpp.o"
+  "CMakeFiles/table02_dynamic_mix.dir/bench/table02_dynamic_mix.cpp.o.d"
+  "bench/table02_dynamic_mix"
+  "bench/table02_dynamic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_dynamic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_static_mix.dir/bench/table06_static_mix.cpp.o"
+  "CMakeFiles/table06_static_mix.dir/bench/table06_static_mix.cpp.o.d"
+  "bench/table06_static_mix"
+  "bench/table06_static_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_static_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

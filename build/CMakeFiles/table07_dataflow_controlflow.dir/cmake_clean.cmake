@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_dataflow_controlflow.dir/bench/table07_dataflow_controlflow.cpp.o"
+  "CMakeFiles/table07_dataflow_controlflow.dir/bench/table07_dataflow_controlflow.cpp.o.d"
+  "bench/table07_dataflow_controlflow"
+  "bench/table07_dataflow_controlflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_dataflow_controlflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_dataflow_controlflow.
+# This may be replaced when dependencies are built.

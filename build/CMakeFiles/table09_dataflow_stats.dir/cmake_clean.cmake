@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_dataflow_stats.dir/bench/table09_dataflow_stats.cpp.o"
+  "CMakeFiles/table09_dataflow_stats.dir/bench/table09_dataflow_stats.cpp.o.d"
+  "bench/table09_dataflow_stats"
+  "bench/table09_dataflow_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_dataflow_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table18_coverage.dir/bench/table18_coverage.cpp.o"
+  "CMakeFiles/table18_coverage.dir/bench/table18_coverage.cpp.o.d"
+  "bench/table18_coverage"
+  "bench/table18_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table18_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table21_ipc_fom.dir/bench/table21_ipc_fom.cpp.o"
+  "CMakeFiles/table21_ipc_fom.dir/bench/table21_ipc_fom.cpp.o.d"
+  "bench/table21_ipc_fom"
+  "bench/table21_ipc_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table21_ipc_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table26_parallelism.dir/bench/table26_parallelism.cpp.o"
+  "CMakeFiles/table26_parallelism.dir/bench/table26_parallelism.cpp.o.d"
+  "bench/table26_parallelism"
+  "bench/table26_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table26_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

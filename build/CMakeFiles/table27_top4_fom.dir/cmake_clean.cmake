@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table27_top4_fom.dir/bench/table27_top4_fom.cpp.o"
+  "CMakeFiles/table27_top4_fom.dir/bench/table27_top4_fom.cpp.o.d"
+  "bench/table27_top4_fom"
+  "bench/table27_top4_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table27_top4_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_workload.dir/compress_workload.cpp.o"
+  "CMakeFiles/compress_workload.dir/compress_workload.cpp.o.d"
+  "compress_workload"
+  "compress_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configuration_sweep.dir/configuration_sweep.cpp.o"
+  "CMakeFiles/configuration_sweep.dir/configuration_sweep.cpp.o.d"
+  "configuration_sweep"
+  "configuration_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configuration_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_anatomy.dir/fabric_anatomy.cpp.o"
+  "CMakeFiles/fabric_anatomy.dir/fabric_anatomy.cpp.o.d"
+  "fabric_anatomy"
+  "fabric_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfasm_tool.dir/jfasm_tool.cpp.o"
+  "CMakeFiles/jfasm_tool.dir/jfasm_tool.cpp.o.d"
+  "jfasm_tool"
+  "jfasm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfasm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

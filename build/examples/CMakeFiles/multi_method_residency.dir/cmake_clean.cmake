@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_method_residency.dir/multi_method_residency.cpp.o"
+  "CMakeFiles/multi_method_residency.dir/multi_method_residency.cpp.o.d"
+  "multi_method_residency"
+  "multi_method_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_method_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

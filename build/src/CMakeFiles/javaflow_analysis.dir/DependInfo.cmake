@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dataflow_analysis.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/dataflow_analysis.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/dataflow_analysis.cpp.o.d"
+  "/root/repo/src/analysis/figure_of_merit.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/figure_of_merit.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/figure_of_merit.cpp.o.d"
+  "/root/repo/src/analysis/mix.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/mix.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/mix.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/stats.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/CMakeFiles/javaflow_analysis.dir/analysis/trace.cpp.o" "gcc" "src/CMakeFiles/javaflow_analysis.dir/analysis/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/javaflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

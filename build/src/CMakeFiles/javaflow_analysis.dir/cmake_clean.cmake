@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_analysis.dir/analysis/dataflow_analysis.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/dataflow_analysis.cpp.o.d"
+  "CMakeFiles/javaflow_analysis.dir/analysis/figure_of_merit.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/figure_of_merit.cpp.o.d"
+  "CMakeFiles/javaflow_analysis.dir/analysis/mix.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/mix.cpp.o.d"
+  "CMakeFiles/javaflow_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/javaflow_analysis.dir/analysis/stats.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/stats.cpp.o.d"
+  "CMakeFiles/javaflow_analysis.dir/analysis/trace.cpp.o"
+  "CMakeFiles/javaflow_analysis.dir/analysis/trace.cpp.o.d"
+  "libjavaflow_analysis.a"
+  "libjavaflow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjavaflow_analysis.a"
+)

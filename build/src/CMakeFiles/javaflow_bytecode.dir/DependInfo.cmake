@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/assembler.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/assembler.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/assembler.cpp.o.d"
+  "/root/repo/src/bytecode/method.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/method.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/method.cpp.o.d"
+  "/root/repo/src/bytecode/opcode.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/opcode.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/opcode.cpp.o.d"
+  "/root/repo/src/bytecode/printer.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/printer.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/printer.cpp.o.d"
+  "/root/repo/src/bytecode/textio.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/textio.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/textio.cpp.o.d"
+  "/root/repo/src/bytecode/verifier.cpp" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/verifier.cpp.o" "gcc" "src/CMakeFiles/javaflow_bytecode.dir/bytecode/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

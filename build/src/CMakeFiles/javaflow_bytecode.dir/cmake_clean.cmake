@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/assembler.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/assembler.cpp.o.d"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/method.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/method.cpp.o.d"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/opcode.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/opcode.cpp.o.d"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/printer.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/printer.cpp.o.d"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/textio.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/textio.cpp.o.d"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/verifier.cpp.o"
+  "CMakeFiles/javaflow_bytecode.dir/bytecode/verifier.cpp.o.d"
+  "libjavaflow_bytecode.a"
+  "libjavaflow_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_core.dir/core/fabric_manager.cpp.o"
+  "CMakeFiles/javaflow_core.dir/core/fabric_manager.cpp.o.d"
+  "CMakeFiles/javaflow_core.dir/core/javaflow.cpp.o"
+  "CMakeFiles/javaflow_core.dir/core/javaflow.cpp.o.d"
+  "libjavaflow_core.a"
+  "libjavaflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/dataflow_graph.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/dataflow_graph.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/dataflow_graph.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/fabric.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/fabric.cpp.o.d"
+  "/root/repo/src/fabric/folding.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/folding.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/folding.cpp.o.d"
+  "/root/repo/src/fabric/instruction_node.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/instruction_node.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/instruction_node.cpp.o.d"
+  "/root/repo/src/fabric/loader.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/loader.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/loader.cpp.o.d"
+  "/root/repo/src/fabric/resolver.cpp" "src/CMakeFiles/javaflow_fabric.dir/fabric/resolver.cpp.o" "gcc" "src/CMakeFiles/javaflow_fabric.dir/fabric/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/javaflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_fabric.dir/fabric/dataflow_graph.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/dataflow_graph.cpp.o.d"
+  "CMakeFiles/javaflow_fabric.dir/fabric/fabric.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/fabric.cpp.o.d"
+  "CMakeFiles/javaflow_fabric.dir/fabric/folding.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/folding.cpp.o.d"
+  "CMakeFiles/javaflow_fabric.dir/fabric/instruction_node.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/instruction_node.cpp.o.d"
+  "CMakeFiles/javaflow_fabric.dir/fabric/loader.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/loader.cpp.o.d"
+  "CMakeFiles/javaflow_fabric.dir/fabric/resolver.cpp.o"
+  "CMakeFiles/javaflow_fabric.dir/fabric/resolver.cpp.o.d"
+  "libjavaflow_fabric.a"
+  "libjavaflow_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/heap.cpp" "src/CMakeFiles/javaflow_jvm.dir/jvm/heap.cpp.o" "gcc" "src/CMakeFiles/javaflow_jvm.dir/jvm/heap.cpp.o.d"
+  "/root/repo/src/jvm/interpreter.cpp" "src/CMakeFiles/javaflow_jvm.dir/jvm/interpreter.cpp.o" "gcc" "src/CMakeFiles/javaflow_jvm.dir/jvm/interpreter.cpp.o.d"
+  "/root/repo/src/jvm/profiler.cpp" "src/CMakeFiles/javaflow_jvm.dir/jvm/profiler.cpp.o" "gcc" "src/CMakeFiles/javaflow_jvm.dir/jvm/profiler.cpp.o.d"
+  "/root/repo/src/jvm/value.cpp" "src/CMakeFiles/javaflow_jvm.dir/jvm/value.cpp.o" "gcc" "src/CMakeFiles/javaflow_jvm.dir/jvm/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/javaflow_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_jvm.dir/jvm/heap.cpp.o"
+  "CMakeFiles/javaflow_jvm.dir/jvm/heap.cpp.o.d"
+  "CMakeFiles/javaflow_jvm.dir/jvm/interpreter.cpp.o"
+  "CMakeFiles/javaflow_jvm.dir/jvm/interpreter.cpp.o.d"
+  "CMakeFiles/javaflow_jvm.dir/jvm/profiler.cpp.o"
+  "CMakeFiles/javaflow_jvm.dir/jvm/profiler.cpp.o.d"
+  "CMakeFiles/javaflow_jvm.dir/jvm/value.cpp.o"
+  "CMakeFiles/javaflow_jvm.dir/jvm/value.cpp.o.d"
+  "libjavaflow_jvm.a"
+  "libjavaflow_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

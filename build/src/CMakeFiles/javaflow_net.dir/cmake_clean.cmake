@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_net.dir/net/message.cpp.o"
+  "CMakeFiles/javaflow_net.dir/net/message.cpp.o.d"
+  "libjavaflow_net.a"
+  "libjavaflow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

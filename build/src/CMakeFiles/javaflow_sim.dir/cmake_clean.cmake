@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_sim.dir/sim/branch_predictor.cpp.o"
+  "CMakeFiles/javaflow_sim.dir/sim/branch_predictor.cpp.o.d"
+  "CMakeFiles/javaflow_sim.dir/sim/config.cpp.o"
+  "CMakeFiles/javaflow_sim.dir/sim/config.cpp.o.d"
+  "CMakeFiles/javaflow_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/javaflow_sim.dir/sim/engine.cpp.o.d"
+  "libjavaflow_sim.a"
+  "libjavaflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

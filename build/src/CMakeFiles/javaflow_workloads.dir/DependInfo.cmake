@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/corpus.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/corpus.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/corpus.cpp.o.d"
+  "/root/repo/src/workloads/generator.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/generator.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/generator.cpp.o.d"
+  "/root/repo/src/workloads/kernels_compress.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_compress.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_compress.cpp.o.d"
+  "/root/repo/src/workloads/kernels_crypto.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_crypto.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_crypto.cpp.o.d"
+  "/root/repo/src/workloads/kernels_jvm98.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_jvm98.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_jvm98.cpp.o.d"
+  "/root/repo/src/workloads/kernels_mpegaudio.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_mpegaudio.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_mpegaudio.cpp.o.d"
+  "/root/repo/src/workloads/kernels_scimark.cpp" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_scimark.cpp.o" "gcc" "src/CMakeFiles/javaflow_workloads.dir/workloads/kernels_scimark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/javaflow_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaflow_workloads.dir/workloads/corpus.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/corpus.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/generator.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/generator.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_compress.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_compress.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_crypto.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_crypto.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_jvm98.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_jvm98.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_mpegaudio.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_mpegaudio.cpp.o.d"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_scimark.cpp.o"
+  "CMakeFiles/javaflow_workloads.dir/workloads/kernels_scimark.cpp.o.d"
+  "libjavaflow_workloads.a"
+  "libjavaflow_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaflow_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_execution.dir/test_corpus_execution.cpp.o"
+  "CMakeFiles/test_corpus_execution.dir/test_corpus_execution.cpp.o.d"
+  "test_corpus_execution"
+  "test_corpus_execution.pdb"
+  "test_corpus_execution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

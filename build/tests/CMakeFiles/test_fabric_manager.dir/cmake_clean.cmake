@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_manager.dir/test_fabric_manager.cpp.o"
+  "CMakeFiles/test_fabric_manager.dir/test_fabric_manager.cpp.o.d"
+  "test_fabric_manager"
+  "test_fabric_manager.pdb"
+  "test_fabric_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_folding.cpp" "tests/CMakeFiles/test_folding.dir/test_folding.cpp.o" "gcc" "tests/CMakeFiles/test_folding.dir/test_folding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/javaflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/javaflow_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

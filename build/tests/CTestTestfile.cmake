@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_opcode[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_verifier[1]_include.cmake")
+include("/root/repo/build/tests/test_interpreter[1]_include.cmake")
+include("/root/repo/build/tests/test_networks[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_dataflow_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_execution[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_folding[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_exceptions[1]_include.cmake")
+include("/root/repo/build/tests/test_textio[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_printer[1]_include.cmake")
