@@ -3,6 +3,10 @@
 // Environment knobs:
 //   JAVAFLOW_BENCH_STRIDE=<k>  subsample the corpus (keep every k-th
 //                              method) for quick runs; default 1 (all).
+//   JAVAFLOW_THREADS=<n>       sweep worker threads: 0 = one per
+//                              hardware thread (default), 1 = serial,
+//                              n >= 2 = exactly n. Output is identical
+//                              for every setting (see docs/PERF.md).
 #pragma once
 
 #include <cstdlib>
@@ -22,6 +26,14 @@ inline int env_stride() {
     if (v >= 1) return v;
   }
   return 1;
+}
+
+inline int env_threads() {
+  if (const char* s = std::getenv("JAVAFLOW_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 0) return v;
+  }
+  return 0;  // auto: one worker per hardware thread
 }
 
 struct Context {
@@ -70,6 +82,7 @@ struct Context {
   analysis::Sweep run_sweep() const {
     analysis::SweepOptions options;
     options.stride = env_stride();
+    options.threads = env_threads();
     return analysis::run_sweep(all_methods(), corpus.program.pool,
                                hot_method_names(), options);
   }

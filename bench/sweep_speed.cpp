@@ -1,0 +1,91 @@
+// Sweep throughput harness: times the Chapter 7 method × config ×
+// scenario sweep serial vs parallel, verifies the two runs produce
+// identical sample sequences, and emits BENCH_sweep.json so the perf
+// trajectory is tracked across PRs.
+//
+// Knobs (see docs/PERF.md): JAVAFLOW_BENCH_STRIDE subsamples the corpus
+// for smoke runs; JAVAFLOW_THREADS sizes the parallel leg (0 = one
+// worker per hardware thread).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TimedSweep {
+  javaflow::analysis::Sweep sweep;
+  double seconds = 0.0;
+};
+
+TimedSweep timed_sweep(const javaflow::bench::Context& ctx, int threads) {
+  javaflow::analysis::SweepOptions options;
+  options.stride = javaflow::bench::env_stride();
+  options.threads = threads;
+  const auto t0 = Clock::now();
+  TimedSweep out;
+  out.sweep = javaflow::analysis::run_sweep(
+      ctx.all_methods(), ctx.corpus.program.pool, ctx.hot_method_names(),
+      options);
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+double rate(std::size_t cells, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(cells) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  javaflow::bench::Context ctx;
+  const unsigned threads =
+      javaflow::util::ThreadPool::resolve(javaflow::bench::env_threads());
+
+  std::printf("sweep_speed: stride=%d, parallel leg uses %u thread(s)\n",
+              javaflow::bench::env_stride(), threads);
+
+  const TimedSweep serial = timed_sweep(ctx, 1);
+  const TimedSweep parallel = timed_sweep(ctx, static_cast<int>(threads));
+
+  const std::size_t cells = serial.sweep.samples.size();
+  const bool identical = serial.sweep.samples == parallel.sweep.samples;
+  const double speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+
+  std::printf("  cells:    %zu (%zu methods x %zu configs x 2 scenarios)\n",
+              cells,
+              cells / (serial.sweep.configs.size() * 2),
+              serial.sweep.configs.size());
+  std::printf("  serial:   %.3f s (%.1f cells/s)\n", serial.seconds,
+              rate(cells, serial.seconds));
+  std::printf("  parallel: %.3f s (%.1f cells/s)\n", parallel.seconds,
+              rate(cells, parallel.seconds));
+  std::printf("  speedup:  %.2fx on %u thread(s)\n", speedup, threads);
+  std::printf("  identical output: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n"
+       << "  \"benchmark\": \"sweep_speed\",\n"
+       << "  \"cells\": " << cells << ",\n"
+       << "  \"stride\": " << javaflow::bench::env_stride() << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_seconds\": " << serial.seconds << ",\n"
+       << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
+       << "  \"serial_cells_per_second\": " << rate(cells, serial.seconds)
+       << ",\n"
+       << "  \"parallel_cells_per_second\": "
+       << rate(cells, parallel.seconds) << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_sweep.json\n");
+
+  // A mismatch means the parallel sweep broke determinism: fail loudly
+  // so CI smoke runs catch it.
+  return identical ? 0 : 1;
+}

@@ -1,10 +1,11 @@
 #include "analysis/figure_of_merit.hpp"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 #include "fabric/dataflow_graph.hpp"
 #include "fabric/resolver.hpp"
+#include "util/thread_pool.hpp"
 
 namespace javaflow::analysis {
 
@@ -37,18 +38,37 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   Sweep sweep;
   sweep.configs = options.configs.empty() ? sim::table15_configs()
                                           : options.configs;
-  const std::set<std::string> hot(hot_methods.begin(), hot_methods.end());
-
-  std::vector<sim::Engine> engines;
-  engines.reserve(sweep.configs.size());
-  for (const sim::MachineConfig& cfg : sweep.configs) {
-    engines.emplace_back(cfg, options.engine);
-  }
+  const std::unordered_set<std::string> hot(hot_methods.begin(),
+                                            hot_methods.end());
 
   const int stride = std::max(options.stride, 1);
+  std::vector<std::size_t> picks;
+  picks.reserve(methods.size() / static_cast<std::size_t>(stride) + 1);
   for (std::size_t mi = 0; mi < methods.size();
        mi += static_cast<std::size_t>(stride)) {
-    const bytecode::Method& m = *methods[mi];
+    picks.push_back(mi);
+  }
+
+  // Each selected method owns a fixed block of config-major cells, so
+  // the sample sequence is identical however the methods are scheduled.
+  const std::size_t n_scenarios = options.scenarios.size();
+  const std::size_t cells_per_method = sweep.configs.size() * n_scenarios;
+  sweep.samples.resize(picks.size() * cells_per_method);
+
+  auto make_engines = [&] {
+    std::vector<sim::Engine> engines;
+    engines.reserve(sweep.configs.size());
+    for (const sim::MachineConfig& cfg : sweep.configs) {
+      engines.emplace_back(cfg, options.engine);
+    }
+    return engines;
+  };
+
+  // One task per method: the dataflow graph and static counts are built
+  // once, then every config × scenario cell runs on this lane's engines
+  // (whose workspaces amortize per-run allocations across the sweep).
+  auto run_method = [&](std::size_t pi, std::vector<sim::Engine>& engines) {
+    const bytecode::Method& m = *methods[picks[pi]];
     const fabric::DataflowGraph graph =
         fabric::build_dataflow_graph(m, pool);
     std::int32_t back_jumps = 0;
@@ -58,22 +78,42 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         ++back_jumps;
       }
     }
+    const bool is_hot = hot.contains(m.name);
+    SweepSample* out = sweep.samples.data() + pi * cells_per_method;
     for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
-      for (const auto scenario : options.scenarios) {
-        sim::BranchPredictor predictor(scenario);
-        SweepSample sample;
+      for (std::size_t si = 0; si < n_scenarios; ++si) {
+        sim::BranchPredictor predictor(options.scenarios[si]);
+        SweepSample& sample = out[ci * n_scenarios + si];
         sample.method = m.name;
         sample.benchmark = m.benchmark;
         sample.config_index = ci;
-        sample.scenario = scenario;
+        sample.scenario = options.scenarios[si];
         sample.static_insts = static_cast<std::int32_t>(m.code.size());
         sample.back_jumps = back_jumps;
-        sample.is_hot = hot.contains(m.name);
+        sample.is_hot = is_hot;
         sample.metrics = engines[ci].run(m, graph, predictor);
-        sweep.samples.push_back(std::move(sample));
       }
     }
+  };
+
+  const unsigned threads = util::ThreadPool::resolve(options.threads);
+  if (threads <= 1 || picks.size() <= 1) {
+    std::vector<sim::Engine> engines = make_engines();
+    for (std::size_t pi = 0; pi < picks.size(); ++pi) {
+      run_method(pi, engines);
+    }
+    return sweep;
   }
+
+  util::ThreadPool workers(threads);
+  // Per-lane engine sets: lanes never share an Engine (each holds a
+  // mutable scratch workspace), and engines persist across the lane's
+  // methods so allocation reuse still pays off.
+  std::vector<std::vector<sim::Engine>> lane_engines(workers.size());
+  workers.parallel_for(picks.size(), [&](std::size_t pi, unsigned lane) {
+    if (lane_engines[lane].empty()) lane_engines[lane] = make_engines();
+    run_method(pi, lane_engines[lane]);
+  });
   return sweep;
 }
 

@@ -35,6 +35,10 @@ struct SweepSample {
   std::int32_t back_jumps = 0;
   bool is_hot = false;             // in the dynamic top-90 % set
   sim::RunMetrics metrics;
+
+  // Field-wise equality, used to assert that parallel and serial sweeps
+  // produce identical sample sequences.
+  bool operator==(const SweepSample&) const = default;
 };
 
 struct SweepOptions {
@@ -45,6 +49,11 @@ struct SweepOptions {
   sim::EngineOptions engine;
   // Optional subsampling for quick runs: keep every k-th method (1 = all).
   int stride = 1;
+  // Worker threads for the sweep: 1 (default) runs in-line on the
+  // calling thread; 0 uses one worker per hardware thread; n >= 2 uses
+  // exactly n workers. The sweep shards per method and writes samples at
+  // precomputed indices, so the output is identical for every setting.
+  int threads = 1;
 };
 
 struct Sweep {

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
-#include <queue>
 #include <vector>
 
 #include "net/message.hpp"
@@ -71,6 +71,20 @@ struct NodeRt {
   bool waiting_tail_flush = false;  // back transfer fired, awaiting TAIL
   std::int32_t decided_target = -1;
 
+  // Full re-initialization for a fresh run: unlike reset_iteration(),
+  // this also rebinds the static fields and zeroes the epoch counter.
+  // `buffered` keeps its capacity, so a reused workspace stops paying
+  // for operand-buffer growth after the first run.
+  void prepare(const Instruction& instruction, std::int32_t linear_addr,
+               std::int32_t slot_addr, const std::vector<Edge>* edges) {
+    inst = instruction;
+    linear = linear_addr;
+    slot = slot_addr;
+    consumers = edges;
+    reset_iteration();
+    reset_count = 0;
+  }
+
   void reset_iteration() {
     head_received = false;
     fired = false;
@@ -107,11 +121,39 @@ struct Event {
   }
 };
 
+// Min-heap comparator over (tick, seq). (tick, seq) is a strict total
+// order — seq is unique — so the pop order is deterministic regardless
+// of the heap's internal layout.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const { return a > b; }
+};
+
+}  // namespace
+
+struct detail::EngineWorkspace {
+  std::vector<NodeRt> nodes;
+  std::vector<char> distinct;
+  std::vector<Event> events;  // binary-heap backing store
+  std::vector<char> node_exec_busy;
+  std::vector<std::vector<std::int32_t>> pending_fire;
+
+  // classify_branches() cache: configuration-independent, so it only
+  // needs recomputing when the engine is handed a different method.
+  // Keyed on address + size + name so a recycled allocation holding a
+  // different method cannot alias a stale classification.
+  const bytecode::Method* branch_method = nullptr;
+  std::size_t branch_code_size = 0;
+  std::string branch_name;
+  std::vector<std::uint8_t> branch_kinds;
+};
+
+namespace {
+
 class Run {
  public:
   Run(const MachineConfig& cfg, const EngineOptions& opt, const Method& m,
       const DataflowGraph& graph, BranchPredictor& predictor,
-      const Placement* placement)
+      const Placement* placement, detail::EngineWorkspace& ws)
       : external_placement_(placement),
         cfg_(cfg),
         opt_(opt),
@@ -122,7 +164,12 @@ class Run {
         k_(cfg.serial_per_mesh),
         hop_(cfg.collapsed() ? 0 : 1),
         idus_(std::max(cfg.idus_per_node, 1)),
-        branch_kinds_(classify_branches(m)) {}
+        branch_kinds_(ws.branch_kinds),
+        node_exec_busy_(ws.node_exec_busy),
+        pending_fire_(ws.pending_fire),
+        nodes_(ws.nodes),
+        distinct_(ws.distinct),
+        events_(ws.events) {}
 
   // Physical Instruction Node hosting an IDU chain slot (§4.2).
   std::int32_t phys(std::int32_t slot) const { return slot / idus_; }
@@ -137,23 +184,32 @@ class Run {
     metrics.max_slot = placement_.max_slot;
 
     node_exec_busy_.assign(
-        static_cast<std::size_t>(phys(placement_.max_slot) + 1), false);
-    pending_fire_.assign(node_exec_busy_.size(), {});
+        static_cast<std::size_t>(phys(placement_.max_slot) + 1), 0);
+    // Keep the per-physical-node pending lists (and their capacity)
+    // across runs; only the entries this method can touch need clearing.
+    if (pending_fire_.size() < node_exec_busy_.size()) {
+      pending_fire_.resize(node_exec_busy_.size());
+    }
+    for (std::size_t i = 0; i < node_exec_busy_.size(); ++i) {
+      pending_fire_[i].clear();
+    }
     nodes_.resize(m_.code.size());
     for (std::size_t i = 0; i < m_.code.size(); ++i) {
-      NodeRt& n = nodes_[i];
-      n.inst = m_.code[i];
-      n.linear = static_cast<std::int32_t>(i);
-      n.slot = placement_.slot_of[i];
-      n.consumers = &graph_.consumers_of[i];
+      nodes_[i].prepare(m_.code[i], static_cast<std::int32_t>(i),
+                        placement_.slot_of[i], &graph_.consumers_of[i]);
     }
-    distinct_.assign(m_.code.size(), false);
+    distinct_.assign(m_.code.size(), 0);
+    events_.clear();
+    // Amortize event-queue growth: outstanding events scale with the
+    // token bundle plus in-flight mesh traffic, both O(method size).
+    events_.reserve(std::max<std::size_t>(64, 4 * m_.code.size()));
 
     inject_bundle();
 
     while (!events_.empty() && !completed_) {
-      Event ev = events_.top();
-      events_.pop();
+      std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+      const Event ev = events_.back();
+      events_.pop_back();
       now_ = ev.tick;
       if (opt_.trace) trace_event(ev);
       if (now_ > opt_.max_ticks) {
@@ -176,7 +232,7 @@ class Run {
         std::max<std::int64_t>(1, (metrics.ticks + k_ - 1) / k_);
     metrics.instructions_fired = fired_count_;
     metrics.distinct_fired = static_cast<std::int32_t>(
-        std::count(distinct_.begin(), distinct_.end(), true));
+        std::count(distinct_.begin(), distinct_.end(), 1));
     metrics.mesh_messages = mesh_messages_;
     metrics.serial_messages = serial_messages_;
     metrics.ticks_exec_1plus = acc_1plus_;
@@ -205,7 +261,8 @@ class Run {
   // ---- scheduling helpers ----
   void schedule(Event ev) {
     ev.seq = seq_++;
-    events_.push(ev);
+    events_.push_back(ev);
+    std::push_heap(events_.begin(), events_.end(), EventAfter{});
   }
 
   std::int64_t serial_delay(std::int32_t from_node, std::int32_t to_node) {
@@ -627,14 +684,16 @@ class Run {
   const std::int64_t k_;
   const std::int64_t hop_;
   const std::int32_t idus_;
-  std::vector<std::uint8_t> branch_kinds_;
-  std::vector<bool> node_exec_busy_;
-  std::vector<std::vector<std::int32_t>> pending_fire_;
+  // Workspace-backed storage: all references point into the engine's
+  // detail::EngineWorkspace and are re-initialized by execute().
+  const std::vector<std::uint8_t>& branch_kinds_;
+  std::vector<char>& node_exec_busy_;
+  std::vector<std::vector<std::int32_t>>& pending_fire_;
 
   Placement placement_;
-  std::vector<NodeRt> nodes_;
-  std::vector<bool> distinct_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<NodeRt>& nodes_;
+  std::vector<char>& distinct_;
+  std::vector<Event>& events_;  // min-heap ordered by EventAfter
   std::int64_t seq_ = 0;
   std::int64_t now_ = 0;
   bool completed_ = false;
@@ -650,21 +709,43 @@ class Run {
   std::int64_t acc_2plus_ = 0;
 };
 
+// Refreshes the workspace's branch-classification cache for `m`. The
+// classification depends only on the bytecode, so back-to-back runs of
+// the same method (the sweep's config × scenario inner loops) reuse it.
+void refresh_branch_kinds(detail::EngineWorkspace& ws, const Method& m) {
+  if (ws.branch_method == &m && ws.branch_code_size == m.code.size() &&
+      ws.branch_name == m.name) {
+    return;
+  }
+  ws.branch_kinds = classify_branches(m);
+  ws.branch_method = &m;
+  ws.branch_code_size = m.code.size();
+  ws.branch_name = m.name;
+}
+
 }  // namespace
 
 Engine::Engine(MachineConfig config, EngineOptions options)
-    : config_(std::move(config)), options_(options) {}
+    : config_(std::move(config)),
+      options_(options),
+      ws_(std::make_unique<detail::EngineWorkspace>()) {}
+
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+Engine::~Engine() = default;
 
 RunMetrics Engine::run(const Method& m, const DataflowGraph& graph,
                        BranchPredictor& predictor) {
-  Run run(config_, options_, m, graph, predictor, nullptr);
+  refresh_branch_kinds(*ws_, m);
+  Run run(config_, options_, m, graph, predictor, nullptr, *ws_);
   return run.execute();
 }
 
 RunMetrics Engine::run(const Method& m, const DataflowGraph& graph,
                        const fabric::Placement& placement,
                        BranchPredictor& predictor) {
-  Run run(config_, options_, m, graph, predictor, &placement);
+  refresh_branch_kinds(*ws_, m);
+  Run run(config_, options_, m, graph, predictor, &placement, *ws_);
   return run.execute();
 }
 

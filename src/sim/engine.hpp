@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "bytecode/method.hpp"
 #include "fabric/dataflow_graph.hpp"
@@ -19,6 +20,14 @@
 #include "sim/config.hpp"
 
 namespace javaflow::sim {
+
+namespace detail {
+// Heap allocations (event queue backing store, per-node runtime state
+// including operand buffers, cached branch classifications) that
+// persist across an Engine's run() calls so repeated runs reuse
+// capacity instead of re-allocating. Defined in engine.cpp.
+struct EngineWorkspace;
+}  // namespace detail
 
 struct RunMetrics {
   bool fits = false;       // method placed within the node budget
@@ -61,6 +70,10 @@ struct RunMetrics {
                                  static_cast<double>(static_size)
                            : 0.0;
   }
+
+  // Field-wise equality, used to assert that parallel and serial sweeps
+  // (and repeated runs on a reused engine) produce identical results.
+  bool operator==(const RunMetrics&) const = default;
 };
 
 struct EngineOptions {
@@ -74,9 +87,17 @@ struct EngineOptions {
   std::int32_t inject_exception_fire = 1;
 };
 
+// An Engine carries only its configuration plus a private scratch
+// workspace; all per-run state lives in the workspace and is fully
+// re-initialized by each run() call. Distinct Engine instances may run
+// concurrently on different threads (the parallel sweep gives each
+// worker lane its own engines); a single instance is not re-entrant.
 class Engine {
  public:
   explicit Engine(MachineConfig config, EngineOptions options = {});
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();
 
   // Runs one method to completion (or timeout). The dataflow graph must
   // have been built for `m` (it is configuration-independent, so callers
@@ -98,6 +119,7 @@ class Engine {
  private:
   MachineConfig config_;
   EngineOptions options_;
+  std::unique_ptr<detail::EngineWorkspace> ws_;
 };
 
 }  // namespace javaflow::sim
