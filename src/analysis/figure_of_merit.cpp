@@ -55,6 +55,18 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   const std::size_t cells_per_method = sweep.configs.size() * n_scenarios;
   sweep.samples.resize(picks.size() * cells_per_method);
 
+  // Lint debug mode: per-method reports fill pre-sized slots so the
+  // flattened finding order matches the serial sweep for any thread
+  // count. The lint fabrics are immutable during loading and shared.
+  std::vector<LintReport> lint_reports(options.lint ? picks.size() : 0);
+  std::vector<fabric::Fabric> lint_fabrics;
+  if (options.lint) {
+    lint_fabrics.reserve(sweep.configs.size());
+    for (const sim::MachineConfig& cfg : sweep.configs) {
+      lint_fabrics.emplace_back(cfg.fabric_options());
+    }
+  }
+
   auto make_engines = [&] {
     std::vector<sim::Engine> engines;
     engines.reserve(sweep.configs.size());
@@ -79,6 +91,15 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       }
     }
     const bool is_hot = hot.contains(m.name);
+    if (options.lint) {
+      const bytecode::VerifyResult vr = bytecode::verify(m, pool);
+      lint_graph(m, pool, vr, graph, options.lint_options,
+                 lint_reports[pi]);
+      for (const fabric::Fabric& f : lint_fabrics) {
+        lint_placement(m, f, fabric::load_method(f, m), vr,
+                       options.lint_options, lint_reports[pi]);
+      }
+    }
     SweepSample* out = sweep.samples.data() + pi * cells_per_method;
     for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
       for (std::size_t si = 0; si < n_scenarios; ++si) {
@@ -102,18 +123,24 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     for (std::size_t pi = 0; pi < picks.size(); ++pi) {
       run_method(pi, engines);
     }
-    return sweep;
+  } else {
+    util::ThreadPool workers(threads);
+    // Per-lane engine sets: lanes never share an Engine (each holds a
+    // mutable scratch workspace), and engines persist across the lane's
+    // methods so allocation reuse still pays off.
+    std::vector<std::vector<sim::Engine>> lane_engines(workers.size());
+    workers.parallel_for(picks.size(), [&](std::size_t pi, unsigned lane) {
+      if (lane_engines[lane].empty()) lane_engines[lane] = make_engines();
+      run_method(pi, lane_engines[lane]);
+    });
   }
-
-  util::ThreadPool workers(threads);
-  // Per-lane engine sets: lanes never share an Engine (each holds a
-  // mutable scratch workspace), and engines persist across the lane's
-  // methods so allocation reuse still pays off.
-  std::vector<std::vector<sim::Engine>> lane_engines(workers.size());
-  workers.parallel_for(picks.size(), [&](std::size_t pi, unsigned lane) {
-    if (lane_engines[lane].empty()) lane_engines[lane] = make_engines();
-    run_method(pi, lane_engines[lane]);
-  });
+  for (LintReport& r : lint_reports) {
+    sweep.lint_errors += r.errors;
+    sweep.lint_warnings += r.warnings;
+    sweep.lint_findings.insert(sweep.lint_findings.end(),
+                               std::make_move_iterator(r.findings.begin()),
+                               std::make_move_iterator(r.findings.end()));
+  }
   return sweep;
 }
 

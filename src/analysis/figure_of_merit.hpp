@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "analysis/stats.hpp"
 #include "bytecode/method.hpp"
 #include "sim/config.hpp"
@@ -54,11 +55,21 @@ struct SweepOptions {
   // exactly n workers. The sweep shards per method and writes samples at
   // precomputed indices, so the output is identical for every setting.
   int threads = 1;
+  // Debug mode: statically lint every method's dataflow graph (and its
+  // placement on each swept configuration) before executing it. Findings
+  // land in Sweep::lint_findings in method order — identical for every
+  // thread count, like the samples.
+  bool lint = false;
+  LintOptions lint_options;
 };
 
 struct Sweep {
   std::vector<sim::MachineConfig> configs;
   std::vector<SweepSample> samples;
+  // Populated only when SweepOptions::lint is set.
+  std::vector<LintFinding> lint_findings;
+  std::int32_t lint_errors = 0;
+  std::int32_t lint_warnings = 0;
 };
 
 // Runs the full sweep. `hot_methods` marks Filter 2 membership (by

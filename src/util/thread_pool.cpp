@@ -56,10 +56,14 @@ void ThreadPool::parallel_for(
         body(i, lane);
       }
       {
+        // Notify while holding the lock: done_cv and done_mu live on the
+        // caller's stack, and the waiter destroys them as soon as it
+        // observes done == lanes. Signaling after unlock would race that
+        // destruction.
         std::lock_guard<std::mutex> lock(done_mu);
         ++done;
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);

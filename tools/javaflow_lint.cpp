@@ -1,0 +1,161 @@
+// javaflow_lint — static verification of the corpus' dataflow graphs,
+// placements and token ordering (rule catalogue in docs/LINT.md).
+//
+//   javaflow_lint                          lint the full 1605-method corpus
+//                                          on every Table 15 configuration
+//   javaflow_lint --config Compact2        one configuration only
+//   javaflow_lint --json                   machine-readable findings
+//   javaflow_lint --file corpus.jfasm      lint a program image instead
+//
+// Exits 0 when no error-severity finding is raised, 1 otherwise (warnings
+// never fail the run), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "bytecode/textio.hpp"
+#include "sim/config.hpp"
+#include "workloads/corpus.hpp"
+
+using namespace javaflow;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: javaflow_lint [options]\n"
+      "  --config NAME     lint placements on one Table 15 configuration\n"
+      "                    (repeatable; default: all six)\n"
+      "  --file PATH       lint a .jfasm program image instead of the\n"
+      "                    built-in corpus\n"
+      "  --kernels-only    restrict the corpus to the hand-written kernels\n"
+      "  --methods N       corpus size (default 1605, Table 16)\n"
+      "  --threads N       worker threads (0 = auto, default; 1 = serial)\n"
+      "  --buffer-cap N    per-node operand buffer capacity (JF-E005)\n"
+      "  --fanout-cap N    consumer-address array limit (JF-E006)\n"
+      "  --no-warnings     suppress warning-severity rules\n"
+      "  --json            emit the report as JSON on stdout\n"
+      "  --quiet           summary only (text mode)\n");
+  return 2;
+}
+
+bool parse_int(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> config_names;
+  std::string file;
+  bool kernels_only = false;
+  bool json = false;
+  bool quiet = false;
+  int methods = 1605;
+  int threads = 0;
+  analysis::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    int value = 0;
+    if (arg == "--config") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config_names.emplace_back(v);
+    } else if (arg == "--file") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      file = v;
+    } else if (arg == "--kernels-only") {
+      kernels_only = true;
+    } else if (arg == "--methods") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, methods)) return usage();
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, threads)) return usage();
+    } else if (arg == "--buffer-cap") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, value)) return usage();
+      options.node_buffer_capacity = value;
+    } else if (arg == "--fanout-cap") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, value)) return usage();
+      options.mesh_fanout_limit = value;
+    } else if (arg == "--no-warnings") {
+      options.warnings = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "javaflow_lint: unknown option '%s'\n",
+                   arg.c_str());
+      return usage();
+    }
+  }
+
+  std::vector<sim::MachineConfig> configs;
+  try {
+    if (config_names.empty()) {
+      configs = sim::table15_configs();
+    } else {
+      for (const std::string& name : config_names) {
+        configs.push_back(sim::config_by_name(name));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "javaflow_lint: %s\n", e.what());
+    return 2;
+  }
+
+  bytecode::Program program;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "javaflow_lint: cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      program = bytecode::parse_program(buf.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "javaflow_lint: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+  } else {
+    workloads::CorpusOptions corpus_options;
+    if (kernels_only) corpus_options.total_methods = 0;
+    else corpus_options.total_methods = methods;
+    program = workloads::make_corpus(corpus_options).program;
+  }
+
+  const analysis::LintReport report =
+      analysis::lint_corpus(program, configs, options, threads);
+
+  if (json) {
+    std::cout << analysis::to_json(report) << '\n';
+  } else if (quiet) {
+    std::printf("%zu methods, %zu placements: %d errors, %d warnings\n",
+                report.methods_linted, report.placements_linted,
+                report.errors, report.warnings);
+  } else {
+    std::cout << analysis::to_text(report);
+  }
+  return report.clean() ? 0 : 1;
+}
