@@ -1,39 +1,69 @@
 // Shared context for the table-reproduction harnesses.
 //
-// Environment knobs:
-//   JAVAFLOW_BENCH_STRIDE=<k>  subsample the corpus (keep every k-th
-//                              method) for quick runs; default 1 (all).
-//   JAVAFLOW_THREADS=<n>       sweep worker threads: 0 = one per
-//                              hardware thread (default), 1 = serial,
-//                              n >= 2 = exactly n. Output is identical
-//                              for every setting (see docs/PERF.md).
+// Environment knobs (all parsed strictly — a malformed value warns on
+// stderr and falls back to the default, see src/util/env.hpp):
+//   JAVAFLOW_BENCH_STRIDE=<k>      subsample the corpus (keep every k-th
+//                                  method) for quick runs; default 1.
+//   JAVAFLOW_THREADS=<n>           sweep worker threads: 0 = one per
+//                                  hardware thread (default), 1 = serial,
+//                                  n >= 2 = exactly n. Output is identical
+//                                  for every setting (see docs/PERF.md).
+//   JAVAFLOW_SWEEP_HEARTBEAT=1     opt-in stderr progress heartbeat
+//                                  (methods/s + ETA) during sweeps.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "analysis/figure_of_merit.hpp"
 #include "analysis/report.hpp"
 #include "jvm/interpreter.hpp"
+#include "util/env.hpp"
 #include "workloads/corpus.hpp"
 
 namespace javaflow::bench {
 
 inline int env_stride() {
-  if (const char* s = std::getenv("JAVAFLOW_BENCH_STRIDE")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return v;
-  }
-  return 1;
+  return static_cast<int>(util::env_int("JAVAFLOW_BENCH_STRIDE", 1, 1));
 }
 
 inline int env_threads() {
-  if (const char* s = std::getenv("JAVAFLOW_THREADS")) {
-    const int v = std::atoi(s);
-    if (v >= 0) return v;
+  // 0 = auto: one worker per hardware thread.
+  return static_cast<int>(util::env_int("JAVAFLOW_THREADS", 0, 0));
+}
+
+inline bool env_heartbeat() {
+  return util::env_flag("JAVAFLOW_SWEEP_HEARTBEAT");
+}
+
+// ---- run metadata (BENCH_*.json provenance) ----
+
+// Current UTC time as ISO 8601 ("2026-08-06T12:34:56Z").
+inline std::string iso_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+// HEAD commit of the repository the benchmark runs from ("unknown" when
+// git or the repo is unavailable — e.g. a distributed binary).
+inline std::string git_sha() {
+  FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  const std::size_t n = fread(buf, 1, sizeof(buf) - 1, pipe);
+  pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
   }
-  return 0;  // auto: one worker per hardware thread
+  return sha.size() == 40 ? sha : "unknown";
 }
 
 struct Context {
@@ -83,6 +113,7 @@ struct Context {
     analysis::SweepOptions options;
     options.stride = env_stride();
     options.threads = env_threads();
+    options.heartbeat = env_heartbeat();
     return analysis::run_sweep(all_methods(), corpus.program.pool,
                                hot_method_names(), options);
   }

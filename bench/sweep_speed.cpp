@@ -8,7 +8,10 @@
 // worker per hardware thread).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "util/thread_pool.hpp"
@@ -26,6 +29,7 @@ TimedSweep timed_sweep(const javaflow::bench::Context& ctx, int threads) {
   javaflow::analysis::SweepOptions options;
   options.stride = javaflow::bench::env_stride();
   options.threads = threads;
+  options.heartbeat = javaflow::bench::env_heartbeat();
   const auto t0 = Clock::now();
   TimedSweep out;
   out.sweep = javaflow::analysis::run_sweep(
@@ -68,9 +72,29 @@ int main() {
   std::printf("  speedup:  %.2fx on %u thread(s)\n", speedup, threads);
   std::printf("  identical output: %s\n", identical ? "yes" : "NO");
 
+  // Run metadata so BENCH_sweep.json files are comparable across PRs:
+  // which commit, when, on how many hardware threads, and with which env
+  // knobs in effect.
+  const char* threads_env = std::getenv("JAVAFLOW_THREADS");
+  const char* stride_env = std::getenv("JAVAFLOW_BENCH_STRIDE");
+
   std::ofstream json("BENCH_sweep.json");
   json << "{\n"
        << "  \"benchmark\": \"sweep_speed\",\n"
+       << "  \"metadata\": {\n"
+       << "    \"git_sha\": \"" << javaflow::bench::git_sha() << "\",\n"
+       << "    \"timestamp_utc\": \""
+       << javaflow::bench::iso_timestamp_utc() << "\",\n"
+       << "    \"hardware_threads\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "    \"env_javaflow_threads\": "
+       << (threads_env ? "\"" + std::string(threads_env) + "\""
+                       : std::string("null"))
+       << ",\n"
+       << "    \"env_javaflow_bench_stride\": "
+       << (stride_env ? "\"" + std::string(stride_env) + "\""
+                      : std::string("null"))
+       << "\n  },\n"
        << "  \"cells\": " << cells << ",\n"
        << "  \"stride\": " << javaflow::bench::env_stride() << ",\n"
        << "  \"threads\": " << threads << ",\n"
@@ -81,8 +105,10 @@ int main() {
        << "  \"parallel_cells_per_second\": "
        << rate(cells, parallel.seconds) << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
-       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
-       << "}\n";
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"report\": ";
+  javaflow::analysis::write_sweep_json(json, parallel.sweep, 2);
+  json << "\n}\n";
   std::printf("wrote BENCH_sweep.json\n");
 
   // A mismatch means the parallel sweep broke determinism: fail loudly

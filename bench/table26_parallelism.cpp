@@ -22,5 +22,20 @@ int main() {
     t26.row({row.config, Table::pct(row.mean_fraction_2plus)});
   }
   t26.print();
+
+  // Companion detail the paper never tabulated: the network traffic
+  // behind the parallelism numbers (RunMetrics mesh/serial message
+  // counts, aggregated per configuration over usable samples).
+  Table net("Network traffic per configuration (mean per method)");
+  net.columns({"Case", "Samples", "Mesh msgs", "Serial msgs",
+               "Ticks exec >=1", "Ticks exec >=2"});
+  for (const auto& row : javaflow::analysis::network_rows(sweep)) {
+    net.row({row.config, std::to_string(row.samples),
+             Table::num(row.mean_mesh_messages, 1),
+             Table::num(row.mean_serial_messages, 1),
+             Table::num(row.mean_ticks_exec_1plus, 1),
+             Table::num(row.mean_ticks_exec_2plus, 1)});
+  }
+  net.print();
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "analysis/figure_of_merit.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
 #include <unordered_set>
 
 #include "fabric/dataflow_graph.hpp"
@@ -8,6 +12,19 @@
 #include "util/thread_pool.hpp"
 
 namespace javaflow::analysis {
+
+SweepProfile::Lane SweepProfile::total() const {
+  Lane t;
+  for (const Lane& l : lanes) {
+    t.verify_s += l.verify_s;
+    t.resolve_s += l.resolve_s;
+    t.place_s += l.place_s;
+    t.execute_s += l.execute_s;
+    t.methods += l.methods;
+    t.cells += l.cells;
+  }
+  return t;
+}
 
 std::string_view filter_name(Filter f) noexcept {
   switch (f) {
@@ -57,32 +74,83 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
 
   // Lint debug mode: per-method reports fill pre-sized slots so the
   // flattened finding order matches the serial sweep for any thread
-  // count. The lint fabrics are immutable during loading and shared.
+  // count.
   std::vector<LintReport> lint_reports(options.lint ? picks.size() : 0);
-  std::vector<fabric::Fabric> lint_fabrics;
-  if (options.lint) {
-    lint_fabrics.reserve(sweep.configs.size());
-    for (const sim::MachineConfig& cfg : sweep.configs) {
-      lint_fabrics.emplace_back(cfg.fabric_options());
-    }
-  }
 
-  auto make_engines = [&] {
+  // Everything a worker lane owns privately: engines (whose workspaces
+  // amortize per-run allocations across the lane's methods), fabrics for
+  // the placement phase, a telemetry registry, and phase timers. Nothing
+  // here is touched by another thread while the sweep runs.
+  struct LaneState {
     std::vector<sim::Engine> engines;
-    engines.reserve(sweep.configs.size());
+    std::vector<fabric::Fabric> fabrics;
+    obs::MetricsRegistry metrics;
+    SweepProfile::Lane prof;
+  };
+
+  auto make_lane = [&] {
+    auto lane = std::make_unique<LaneState>();
+    lane->fabrics.reserve(sweep.configs.size());
+    lane->engines.reserve(sweep.configs.size());
+    sim::EngineOptions engine_options = options.engine;
+    if (options.collect_metrics) engine_options.metrics = &lane->metrics;
     for (const sim::MachineConfig& cfg : sweep.configs) {
-      engines.emplace_back(cfg, options.engine);
+      lane->fabrics.emplace_back(cfg.fabric_options());
+      lane->engines.emplace_back(cfg, engine_options);
     }
-    return engines;
+    return lane;
+  };
+
+  using Clock = std::chrono::steady_clock;
+  const auto sweep_t0 = Clock::now();
+
+  // Opt-in progress heartbeat: at most ~one stderr line a second (plus a
+  // final one), claimed by whichever lane crosses the interval first.
+  std::atomic<std::size_t> methods_done{0};
+  std::atomic<std::int64_t> last_beat_ms{0};
+  auto heartbeat = [&] {
+    if (!options.heartbeat) return;
+    const std::size_t done = methods_done.fetch_add(1) + 1;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - sweep_t0).count();
+    const auto now_ms = static_cast<std::int64_t>(elapsed * 1000.0);
+    std::int64_t last = last_beat_ms.load(std::memory_order_relaxed);
+    if (now_ms - last < 1000 && done != picks.size()) return;
+    if (!last_beat_ms.compare_exchange_strong(last, now_ms)) return;
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                      : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(picks.size() - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s)\n",
+                 done, picks.size(), rate, eta);
   };
 
   // One task per method: the dataflow graph and static counts are built
-  // once, then every config × scenario cell runs on this lane's engines
-  // (whose workspaces amortize per-run allocations across the sweep).
-  auto run_method = [&](std::size_t pi, std::vector<sim::Engine>& engines) {
+  // once, placements are computed once per configuration, then every
+  // config × scenario cell runs on this lane's engines.
+  const bool profile = options.profile;
+  auto run_method = [&](std::size_t pi, LaneState& lane) {
+    auto t = profile ? Clock::now() : Clock::time_point{};
+    auto lap = [&](double& acc) {
+      if (!profile) return;
+      const auto now = Clock::now();
+      acc += std::chrono::duration<double>(now - t).count();
+      t = now;
+    };
+
     const bytecode::Method& m = *methods[picks[pi]];
     const fabric::DataflowGraph graph =
         fabric::build_dataflow_graph(m, pool);
+    lap(lane.prof.resolve_s);
+
+    std::vector<fabric::Placement> placements;
+    placements.reserve(sweep.configs.size());
+    for (const fabric::Fabric& f : lane.fabrics) {
+      placements.push_back(fabric::load_method(f, m));
+    }
+    lap(lane.prof.place_s);
+
     std::int32_t back_jumps = 0;
     for (std::size_t i = 0; i < m.code.size(); ++i) {
       if (m.code[i].is_branch() &&
@@ -95,11 +163,13 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       const bytecode::VerifyResult vr = bytecode::verify(m, pool);
       lint_graph(m, pool, vr, graph, options.lint_options,
                  lint_reports[pi]);
-      for (const fabric::Fabric& f : lint_fabrics) {
-        lint_placement(m, f, fabric::load_method(f, m), vr,
+      for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
+        lint_placement(m, lane.fabrics[ci], placements[ci], vr,
                        options.lint_options, lint_reports[pi]);
       }
     }
+    lap(lane.prof.verify_s);
+
     SweepSample* out = sweep.samples.data() + pi * cells_per_method;
     for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
       for (std::size_t si = 0; si < n_scenarios; ++si) {
@@ -112,28 +182,46 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         sample.static_insts = static_cast<std::int32_t>(m.code.size());
         sample.back_jumps = back_jumps;
         sample.is_hot = is_hot;
-        sample.metrics = engines[ci].run(m, graph, predictor);
+        sample.metrics =
+            lane.engines[ci].run(m, graph, placements[ci], predictor);
       }
     }
+    lap(lane.prof.execute_s);
+    ++lane.prof.methods;
+    lane.prof.cells += cells_per_method;
+    heartbeat();
   };
 
   const unsigned threads = util::ThreadPool::resolve(options.threads);
+  std::vector<std::unique_ptr<LaneState>> lanes;
   if (threads <= 1 || picks.size() <= 1) {
-    std::vector<sim::Engine> engines = make_engines();
+    lanes.push_back(make_lane());
     for (std::size_t pi = 0; pi < picks.size(); ++pi) {
-      run_method(pi, engines);
+      run_method(pi, *lanes[0]);
     }
   } else {
     util::ThreadPool workers(threads);
-    // Per-lane engine sets: lanes never share an Engine (each holds a
-    // mutable scratch workspace), and engines persist across the lane's
-    // methods so allocation reuse still pays off.
-    std::vector<std::vector<sim::Engine>> lane_engines(workers.size());
+    // Per-lane state: lanes never share an Engine (each holds a mutable
+    // scratch workspace), and engines persist across the lane's methods
+    // so allocation reuse still pays off.
+    lanes.resize(workers.size());
     workers.parallel_for(picks.size(), [&](std::size_t pi, unsigned lane) {
-      if (lane_engines[lane].empty()) lane_engines[lane] = make_engines();
-      run_method(pi, lane_engines[lane]);
+      if (lanes[lane] == nullptr) lanes[lane] = make_lane();
+      run_method(pi, *lanes[lane]);
     });
   }
+
+  for (const std::unique_ptr<LaneState>& lane : lanes) {
+    if (lane == nullptr) {
+      sweep.profile.lanes.emplace_back();
+      continue;
+    }
+    sweep.profile.lanes.push_back(lane->prof);
+    if (options.collect_metrics) sweep.metrics.merge(lane->metrics);
+  }
+  sweep.profile.wall_s =
+      std::chrono::duration<double>(Clock::now() - sweep_t0).count();
+
   for (LintReport& r : lint_reports) {
     sweep.lint_errors += r.errors;
     sweep.lint_warnings += r.warnings;
@@ -284,6 +372,40 @@ std::vector<ParallelismRow> parallelism_rows(const Sweep& sweep) {
   for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
     rows.push_back({sweep.configs[ci].name,
                     summarize(std::move(per_config[ci])).mean});
+  }
+  return rows;
+}
+
+std::vector<NetworkRow> network_rows(const Sweep& sweep) {
+  std::vector<NetworkRow> rows(sweep.configs.size());
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows[ci].config = sweep.configs[ci].name;
+  }
+  std::vector<double> exec1(sweep.configs.size(), 0.0);
+  std::vector<double> exec2(sweep.configs.size(), 0.0);
+  for (const SweepSample& s : sweep.samples) {
+    if (!usable(s)) continue;
+    NetworkRow& row = rows[s.config_index];
+    ++row.samples;
+    row.total_mesh_messages +=
+        static_cast<std::uint64_t>(s.metrics.mesh_messages);
+    row.total_serial_messages +=
+        static_cast<std::uint64_t>(s.metrics.serial_messages);
+    exec1[s.config_index] +=
+        static_cast<double>(s.metrics.ticks_exec_1plus);
+    exec2[s.config_index] +=
+        static_cast<double>(s.metrics.ticks_exec_2plus);
+  }
+  for (std::size_t ci = 0; ci < rows.size(); ++ci) {
+    NetworkRow& row = rows[ci];
+    if (row.samples == 0) continue;
+    const auto n = static_cast<double>(row.samples);
+    row.mean_mesh_messages =
+        static_cast<double>(row.total_mesh_messages) / n;
+    row.mean_serial_messages =
+        static_cast<double>(row.total_serial_messages) / n;
+    row.mean_ticks_exec_1plus = exec1[ci] / n;
+    row.mean_ticks_exec_2plus = exec2[ci] / n;
   }
   return rows;
 }

@@ -11,6 +11,7 @@
 #include "analysis/lint.hpp"
 #include "analysis/stats.hpp"
 #include "bytecode/method.hpp"
+#include "obs/metrics.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 
@@ -42,6 +43,24 @@ struct SweepSample {
   bool operator==(const SweepSample&) const = default;
 };
 
+// Per-phase wall-clock profile of a sweep, aggregated per worker lane
+// (docs/OBSERVABILITY.md). Phase timings are wall time and therefore NOT
+// part of the determinism guarantee — only `methods`/`cells` are stable.
+struct SweepProfile {
+  struct Lane {
+    double verify_s = 0.0;   // back-jump scan, hot lookup, optional lint
+    double resolve_s = 0.0;  // dataflow-graph construction
+    double place_s = 0.0;    // per-config fabric placement
+    double execute_s = 0.0;  // engine runs (all config x scenario cells)
+    std::size_t methods = 0;
+    std::size_t cells = 0;
+  };
+  std::vector<Lane> lanes;  // index = worker lane; serial sweeps use [0]
+  double wall_s = 0.0;      // whole-sweep wall clock
+
+  Lane total() const;  // field-wise sum over lanes
+};
+
 struct SweepOptions {
   std::vector<sim::MachineConfig> configs;  // default: table15_configs()
   std::vector<sim::BranchPredictor::Scenario> scenarios = {
@@ -50,6 +69,18 @@ struct SweepOptions {
   sim::EngineOptions engine;
   // Optional subsampling for quick runs: keep every k-th method (1 = all).
   int stride = 1;
+  // Per-phase wall-clock profiling (Sweep::profile). Cheap (a handful of
+  // steady_clock reads per method), so it defaults on.
+  bool profile = true;
+  // Opt-in stderr heartbeat: roughly once a second, prints completed
+  // methods, methods/s, and the ETA. Progress only — never affects
+  // samples. Env knob: JAVAFLOW_SWEEP_HEARTBEAT=1 (bench_common.hpp).
+  bool heartbeat = false;
+  // Telemetry: aggregate an obs::MetricsRegistry over every cell into
+  // Sweep::metrics. Lane-local registries are merged commutatively, so
+  // the aggregate is identical for every thread count. Overrides any
+  // `engine.metrics` pointer while the sweep runs.
+  bool collect_metrics = false;
   // Worker threads for the sweep: 1 (default) runs in-line on the
   // calling thread; 0 uses one worker per hardware thread; n >= 2 uses
   // exactly n workers. The sweep shards per method and writes samples at
@@ -70,6 +101,11 @@ struct Sweep {
   std::vector<LintFinding> lint_findings;
   std::int32_t lint_errors = 0;
   std::int32_t lint_warnings = 0;
+  // Per-phase wall-clock profile (SweepOptions::profile, default on).
+  SweepProfile profile;
+  // Aggregated telemetry (SweepOptions::collect_metrics, default off);
+  // identical for every thread count.
+  obs::MetricsRegistry metrics;
 };
 
 // Runs the full sweep. `hot_methods` marks Filter 2 membership (by
@@ -128,6 +164,22 @@ struct ParallelismRow {
   double mean_fraction_2plus = 0.0;
 };
 std::vector<ParallelismRow> parallelism_rows(const Sweep& sweep);
+
+// Per-config aggregation of the network-traffic and execution-overlap
+// RunMetrics fields (mesh_messages, serial_messages, ticks_exec_1plus/
+// 2plus) that the tables never surfaced. Means are over usable samples
+// (fits, completed, not timed out).
+struct NetworkRow {
+  std::string config;
+  std::size_t samples = 0;
+  std::uint64_t total_mesh_messages = 0;
+  std::uint64_t total_serial_messages = 0;
+  double mean_mesh_messages = 0.0;
+  double mean_serial_messages = 0.0;
+  double mean_ticks_exec_1plus = 0.0;
+  double mean_ticks_exec_2plus = 0.0;
+};
+std::vector<NetworkRow> network_rows(const Sweep& sweep);
 
 // Tables 27/28: per-method Figure of Merit across configurations for a
 // named method list (the top-4 SPEC methods).

@@ -101,4 +101,65 @@ void print_header(const std::string& text, std::ostream& os) {
      << std::string(72, '=') << "\n";
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_profile_lane(std::ostream& os, const SweepProfile::Lane& lane) {
+  os << "{\"verify_s\":" << lane.verify_s
+     << ",\"resolve_s\":" << lane.resolve_s
+     << ",\"place_s\":" << lane.place_s
+     << ",\"execute_s\":" << lane.execute_s
+     << ",\"methods\":" << lane.methods << ",\"cells\":" << lane.cells
+     << "}";
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const Sweep& sweep, int indent) {
+  const std::string in0(static_cast<std::size_t>(indent), ' ');
+  const std::string in1 = in0 + "  ";
+  const std::string in2 = in1 + "  ";
+
+  const std::vector<FomRow> fom = fom_rows(sweep, Filter::All);
+  const std::vector<NetworkRow> net = network_rows(sweep);
+
+  os << "{\n" << in1 << "\"configs\": [\n";
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    const FomRow& f = fom[ci];
+    const NetworkRow& n = net[ci];
+    os << in2 << "{\"name\": \"" << json_escape(n.config) << "\""
+       << ", \"samples\": " << n.samples
+       << ", \"ipc_mean\": " << f.ipc_mean
+       << ", \"fm_mean\": " << f.fm_mean
+       << ", \"mesh_messages\": " << n.total_mesh_messages
+       << ", \"serial_messages\": " << n.total_serial_messages
+       << ", \"mean_mesh_messages\": " << n.mean_mesh_messages
+       << ", \"mean_serial_messages\": " << n.mean_serial_messages
+       << ", \"mean_ticks_exec_1plus\": " << n.mean_ticks_exec_1plus
+       << ", \"mean_ticks_exec_2plus\": " << n.mean_ticks_exec_2plus
+       << "}" << (ci + 1 < sweep.configs.size() ? "," : "") << "\n";
+  }
+  os << in1 << "],\n";
+
+  const SweepProfile::Lane total = sweep.profile.total();
+  os << in1 << "\"profile\": {\n"
+     << in2 << "\"wall_s\": " << sweep.profile.wall_s << ",\n"
+     << in2 << "\"total\": ";
+  write_profile_lane(os, total);
+  os << ",\n" << in2 << "\"lanes\": [";
+  for (std::size_t li = 0; li < sweep.profile.lanes.size(); ++li) {
+    if (li != 0) os << ",";
+    write_profile_lane(os, sweep.profile.lanes[li]);
+  }
+  os << "]\n" << in1 << "}\n" << in0 << "}";
+}
+
 }  // namespace javaflow::analysis

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/figure_of_merit.hpp"
+
 namespace javaflow::analysis {
 
 class Table {
@@ -34,5 +36,13 @@ class Table {
 
 // Section header used between tables in a bench binary's output.
 void print_header(const std::string& text, std::ostream& os = std::cout);
+
+// Machine-readable sweep report: per-config aggregates — IPC / FoM plus
+// the network-traffic and execution-overlap fields RunMetrics measures
+// but the tables never printed (mesh_messages, serial_messages,
+// ticks_exec_1plus/2plus) — and the per-phase / per-lane wall-clock
+// profile. Emitted as one JSON object; `indent` shifts every line right
+// so the report can be embedded in an enclosing document (BENCH_sweep).
+void write_sweep_json(std::ostream& os, const Sweep& sweep, int indent = 0);
 
 }  // namespace javaflow::analysis

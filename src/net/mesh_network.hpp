@@ -49,6 +49,33 @@ class MeshNetwork {
     return collapsed ? 1 : distance(from_slot, to_slot);
   }
 
+  // Inverse of coord_of: the chain slot sitting at a grid coordinate.
+  std::int32_t slot_of(Coord c) const noexcept {
+    const std::int32_t x = (c.y & 1) != 0 ? width_ - 1 - c.x : c.x;
+    return c.y * width_ + x;
+  }
+
+  // Walks the X-Y route (x first, then y) between two slots, invoking
+  // fn(link_source_slot, dx, dy) for every link traversed, where exactly
+  // one of dx/dy is ±1. Used by the telemetry layer for per-link
+  // utilization accounting; routing itself stays latency-only.
+  template <typename Fn>
+  void for_each_route_link(std::int32_t from_slot, std::int32_t to_slot,
+                           Fn&& fn) const {
+    Coord cur = coord_of(from_slot);
+    const Coord dst = coord_of(to_slot);
+    while (cur.x != dst.x) {
+      const std::int32_t step = dst.x > cur.x ? 1 : -1;
+      fn(slot_of(cur), step, 0);
+      cur.x += step;
+    }
+    while (cur.y != dst.y) {
+      const std::int32_t step = dst.y > cur.y ? 1 : -1;
+      fn(slot_of(cur), 0, step);
+      cur.y += step;
+    }
+  }
+
   void record_message(std::int64_t hop_count) noexcept {
     ++messages_;
     total_hops_ += hop_count;

@@ -22,6 +22,16 @@ std::string_view command_name(Command c) noexcept {
   return "?";
 }
 
+std::string_view ring_service_name(RingService s) noexcept {
+  switch (s) {
+    case RingService::MemoryRead: return "MemoryRead";
+    case RingService::MemoryWrite: return "MemoryWrite";
+    case RingService::ConstantRead: return "ConstantRead";
+    case RingService::GppService: return "GppService";
+  }
+  return "?";
+}
+
 DataType data_type_for(bytecode::ValueType t) noexcept {
   using bytecode::ValueType;
   switch (t) {

@@ -83,6 +83,8 @@ enum class RingService : std::uint8_t {
   GppService,     // calls, object services, exceptions
 };
 
+std::string_view ring_service_name(RingService s) noexcept;
+
 struct RingMessage {
   RingService service = RingService::MemoryRead;
   std::int32_t slot = -1;        // requesting fabric slot

@@ -1,0 +1,177 @@
+#include "obs/event_tracer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "net/message.hpp"
+
+namespace javaflow::obs {
+
+namespace {
+
+constexpr int kFabricPid = 0;
+constexpr int kNetworkPid = 1;
+constexpr int kSerialTid = 0;
+constexpr int kMeshTid = 1;
+constexpr int kRingTid = 2;
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  std::ostream& begin(const char* ph, std::string_view name, int pid,
+                      std::int64_t tid) {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "    {\"ph\":\"" << ph << "\",\"name\":\"";
+    write_escaped(os_, name);
+    os_ << "\",\"pid\":" << pid << ",\"tid\":" << tid;
+    return os_;
+  }
+
+  void meta(const char* kind, int pid, std::int64_t tid,
+            std::string_view value) {
+    begin("M", kind, pid, tid) << ",\"args\":{\"name\":\"";
+    write_escaped(os_, value);
+    os_ << "\"}}";
+  }
+
+  void instant(std::string_view name, int pid, std::int64_t tid,
+               std::int64_t ts, std::string_view args_json) {
+    begin("i", name, pid, tid)
+        << ",\"ts\":" << ts << ",\"s\":\"t\",\"args\":" << args_json << '}';
+  }
+
+  void slice(std::string_view name, int pid, std::int64_t tid,
+             std::int64_t ts, std::int64_t dur, std::string_view args_json) {
+    begin("X", name, pid, tid) << ",\"ts\":" << ts
+                               << ",\"dur\":" << std::max<std::int64_t>(dur, 1)
+                               << ",\"args\":" << args_json << '}';
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string node_args(const TraceEvent& e) {
+  return "{\"node\":" + std::to_string(e.node) +
+         ",\"slot\":" + std::to_string(e.slot) + "}";
+}
+
+std::string_view label_of(const TraceMeta& meta, std::int32_t node,
+                          std::string_view fallback) {
+  if (node >= 0 && static_cast<std::size_t>(node) < meta.node_labels.size()) {
+    return meta.node_labels[static_cast<std::size_t>(node)];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::string_view trace_event_kind_name(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::TokenDeliver: return "token_deliver";
+    case TraceEventKind::OperandArrive: return "operand_arrive";
+    case TraceEventKind::FireStart: return "fire_start";
+    case TraceEventKind::FireComplete: return "fire_complete";
+    case TraceEventKind::ServiceStart: return "service_start";
+    case TraceEventKind::ServiceComplete: return "service_complete";
+  }
+  return "?";
+}
+
+void write_chrome_trace(std::ostream& os, const EventTracer& tracer,
+                        const TraceMeta& meta) {
+  // Stable sort by tick: simultaneous events keep their deterministic
+  // engine handling order.
+  std::vector<TraceEvent> events = tracer.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.tick < b.tick;
+                   });
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+     << "\"method\": \"";
+  write_escaped(os, meta.method);
+  os << "\", \"config\": \"";
+  write_escaped(os, meta.config);
+  os << "\", \"scenario\": \"";
+  write_escaped(os, meta.scenario);
+  os << "\", \"serial_per_mesh\": " << meta.serial_per_mesh
+     << ", \"time_unit\": \"serial ticks (1 tick = 1us in the viewer)\"},\n"
+     << "  \"traceEvents\": [\n";
+
+  EventWriter w(os);
+  w.meta("process_name", kFabricPid, 0,
+         "fabric: " + meta.method + " on " + meta.config);
+  w.meta("process_name", kNetworkPid, 0, "networks");
+  w.meta("thread_name", kNetworkPid, kSerialTid, "serial chain");
+  w.meta("thread_name", kNetworkPid, kMeshTid, "mesh (DataFlow)");
+  w.meta("thread_name", kNetworkPid, kRingTid, "memory/GPP ring");
+
+  // One named track per fabric node that appears in the trace.
+  std::set<std::pair<std::int64_t, std::int32_t>> slots;  // (slot, node)
+  for (const TraceEvent& e : events) {
+    if (e.slot >= 0) slots.insert({e.slot, e.node});
+  }
+  for (const auto& [slot, node] : slots) {
+    std::string label = "slot " + std::to_string(slot);
+    const std::string_view inst = label_of(meta, node, "");
+    if (!inst.empty()) label += ": " + std::string(inst);
+    w.meta("thread_name", kFabricPid, slot, label);
+  }
+
+  for (const TraceEvent& e : events) {
+    const std::string args = node_args(e);
+    switch (e.kind) {
+      case TraceEventKind::TokenDeliver: {
+        const auto cmd =
+            net::command_name(static_cast<net::Command>(e.aux));
+        w.instant(cmd, kFabricPid, e.slot, e.tick, args);
+        w.instant(cmd, kNetworkPid, kSerialTid, e.tick, args);
+        break;
+      }
+      case TraceEventKind::OperandArrive: {
+        const std::string name =
+            "operand side " + std::to_string(static_cast<int>(e.aux));
+        w.instant(name, kFabricPid, e.slot, e.tick, args);
+        w.instant(name, kNetworkPid, kMeshTid, e.tick, args);
+        break;
+      }
+      case TraceEventKind::FireStart:
+        w.slice(label_of(meta, e.node, "fire"), kFabricPid, e.slot, e.tick,
+                e.dur, args);
+        break;
+      case TraceEventKind::FireComplete:
+        // Encoded by the FireStart "X" slice's duration.
+        break;
+      case TraceEventKind::ServiceStart: {
+        const auto svc =
+            net::ring_service_name(static_cast<net::RingService>(e.aux));
+        w.slice("svc: " + std::string(svc), kFabricPid, e.slot, e.tick,
+                e.dur, args);
+        w.instant(svc, kNetworkPid, kRingTid, e.tick, args);
+        break;
+      }
+      case TraceEventKind::ServiceComplete: {
+        const auto svc =
+            net::ring_service_name(static_cast<net::RingService>(e.aux));
+        w.instant("done: " + std::string(svc), kNetworkPid, kRingTid, e.tick,
+                  args);
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace javaflow::obs

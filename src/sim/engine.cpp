@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/event_tracer.hpp"
+#include "obs/metrics.hpp"
 
 namespace javaflow::sim {
 namespace {
@@ -71,6 +73,11 @@ struct NodeRt {
   bool waiting_tail_flush = false;  // back transfer fired, awaiting TAIL
   std::int32_t decided_target = -1;
 
+  // Telemetry timestamps (written only when EngineOptions::metrics is
+  // set; always reset so stale values cannot leak across iterations).
+  std::int64_t head_tick = -1;       // latest HEAD_TOKEN arrival
+  std::int64_t tail_hold_tick = -1;  // when this node started holding TAIL
+
   // Full re-initialization for a fresh run: unlike reset_iteration(),
   // this also rebinds the static fields and zeroes the epoch counter.
   // `buffered` keeps its capacity, so a reused workspace stops paying
@@ -103,6 +110,8 @@ struct NodeRt {
     route_to = net::kToNext;
     waiting_tail_flush = false;
     decided_target = -1;
+    head_tick = -1;
+    tail_hold_tick = -1;
   }
 };
 
@@ -164,6 +173,8 @@ class Run {
         k_(cfg.serial_per_mesh),
         hop_(cfg.collapsed() ? 0 : 1),
         idus_(std::max(cfg.idus_per_node, 1)),
+        mx_(opt.metrics),
+        tr_(opt.tracer),
         branch_kinds_(ws.branch_kinds),
         node_exec_busy_(ws.node_exec_busy),
         pending_fire_(ws.pending_fire),
@@ -237,6 +248,7 @@ class Run {
     metrics.serial_messages = serial_messages_;
     metrics.ticks_exec_1plus = acc_1plus_;
     metrics.ticks_exec_2plus = acc_2plus_;
+    if (mx_ != nullptr) ++mx_->runs;
     return metrics;
   }
 
@@ -283,11 +295,17 @@ class Run {
       return;  // token falls off the chain (e.g. past the bottom)
     }
     ++serial_messages_;
+    const std::int64_t delay = serial_delay(from_node, to_node);
+    if (mx_ != nullptr) {
+      ++mx_->serial_messages;
+      mx_->serial_hop_ticks += static_cast<std::uint64_t>(delay);
+      ++mx_->serial_commands[static_cast<std::size_t>(msg.cmd)];
+    }
     Event ev;
     ev.kind = EvKind::Serial;
     ev.node = to_node;
     ev.msg = msg;
-    ev.tick = now_ + serial_delay(from_node, to_node) + extra;
+    ev.tick = now_ + delay + extra;
     schedule(ev);
   }
 
@@ -297,13 +315,52 @@ class Run {
       if (e.back) continue;  // absent in valid Java (Table 7)
       NodeRt& c = nodes_[static_cast<std::size_t>(e.consumer)];
       ++mesh_messages_;
+      const std::int32_t from_phys = phys(p.slot);
+      const std::int32_t to_phys = phys(c.slot);
+      const std::int64_t cycles = fabric_.mesh_cycles(from_phys, to_phys);
+      if (mx_ != nullptr) record_mesh_metrics(from_phys, to_phys, cycles);
       Event ev;
       ev.kind = EvKind::Mesh;
       ev.node = e.consumer;
       ev.side = e.side;
       ev.epoch = c.reset_count;
-      ev.tick = now_ + k_ * fabric_.mesh_cycles(phys(p.slot), phys(c.slot));
+      ev.tick = now_ + k_ * cycles;
       schedule(ev);
+    }
+  }
+
+  // ---- telemetry (every site is a single null check when disabled) ----
+  void record_mesh_metrics(std::int32_t from_phys, std::int32_t to_phys,
+                           std::int64_t cycles) {
+    ++mx_->mesh_messages;
+    mx_->mesh_transit_cycles += static_cast<std::uint64_t>(cycles);
+    fabric_.mesh().for_each_route_link(
+        from_phys, to_phys,
+        [&](std::int32_t src, std::int32_t dx, std::int32_t dy) {
+          const obs::LinkDir dir = dx > 0   ? obs::LinkDir::East
+                                   : dx < 0 ? obs::LinkDir::West
+                                   : dy > 0 ? obs::LinkDir::North
+                                            : obs::LinkDir::South;
+          mx_->mesh_link(src, dir);
+        });
+  }
+
+  void note_buffered(const NodeRt& n) {
+    if (mx_ != nullptr) {
+      mx_->buffer_high_water(phys(n.slot), n.buffered.size());
+    }
+  }
+
+  void record_service(std::int32_t node, net::RingService svc,
+                      std::int64_t ticks) {
+    if (mx_ != nullptr) {
+      ++mx_->ring_requests[static_cast<std::size_t>(svc)];
+      mx_->ring_latency_ticks[static_cast<std::size_t>(svc)].record(ticks);
+    }
+    if (tr_ != nullptr) {
+      tr_->record({now_, obs::TraceEventKind::ServiceStart, node,
+                   phys(nodes_[static_cast<std::size_t>(node)].slot),
+                   static_cast<std::uint8_t>(svc), ticks});
     }
   }
 
@@ -349,6 +406,10 @@ class Run {
 
   void on_serial(std::int32_t node, const SerialMessage& msg) {
     NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    if (tr_ != nullptr) {
+      tr_->record({now_, obs::TraceEventKind::TokenDeliver, node,
+                   phys(n.slot), static_cast<std::uint8_t>(msg.cmd), 0});
+    }
     // Control-transfer nodes hold the bundle while unfired AND while a
     // fired backward transfer awaits its TAIL — those tokens are the
     // bundle that will replay around the loop (§6.3).
@@ -358,8 +419,10 @@ class Run {
     switch (msg.cmd) {
       case Command::HeadToken:
         n.head_received = true;
+        if (mx_ != nullptr) n.head_tick = now_;
         if (hold) {
           n.buffered.push_back(msg);
+          note_buffered(n);
           try_fire(node);
         } else {
           try_fire(node);
@@ -370,6 +433,7 @@ class Run {
       case Command::MemoryToken:
         if (hold) {
           n.buffered.push_back(msg);
+          note_buffered(n);
           return;
         }
         if (is_ordered_storage(n.inst) && !n.fired) {
@@ -384,6 +448,7 @@ class Run {
       case Command::RegisterToken: {
         if (hold) {
           n.buffered.push_back(msg);
+          note_buffered(n);
           return;
         }
         const Group g = n.inst.group();
@@ -413,12 +478,14 @@ class Run {
         if (buffers_tokens(n.inst)) {
           if (!n.fired) {
             n.buffered.push_back(msg);
+            note_buffered(n);
             n.tail_present = true;
             try_fire(node);  // returns / backward gotos need the TAIL
             return;
           }
           if (n.waiting_tail_flush) {
             n.buffered.push_back(msg);
+            note_buffered(n);
             flush_up(node);
             return;
           }
@@ -430,6 +497,7 @@ class Run {
         } else {
           n.tail_held = true;  // held until this node fires (§6.3)
           n.held_tail = msg;
+          if (mx_ != nullptr) n.tail_hold_tick = now_;
         }
         return;
 
@@ -441,8 +509,11 @@ class Run {
 
   void on_mesh(std::int32_t node, std::uint8_t side, std::int32_t epoch) {
     NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    (void)side;
     if (n.reset_count != epoch) return;  // stale (previous iteration)
+    if (tr_ != nullptr) {
+      tr_->record({now_, obs::TraceEventKind::OperandArrive, node,
+                   phys(n.slot), side, 0});
+    }
     ++n.pops_received;
     try_fire(node);
   }
@@ -486,10 +557,24 @@ class Run {
     node_exec_busy_[pn] = true;
     n.executing = true;
     exec_delta(+1);
+    const std::int64_t cost =
+        k_ * bytecode::execution_mesh_cycles(n.inst.group());
+    if (mx_ != nullptr) {
+      mx_->node_firing(static_cast<std::int32_t>(pn),
+                       static_cast<std::uint8_t>(n.inst.op));
+      mx_->exec_ticks_by_group[static_cast<std::size_t>(n.inst.group())]
+          .record(cost);
+      if (n.head_tick >= 0) mx_->fire_stall_ticks.record(now_ - n.head_tick);
+    }
+    if (tr_ != nullptr) {
+      tr_->record({now_, obs::TraceEventKind::FireStart, node,
+                   static_cast<std::int32_t>(pn),
+                   static_cast<std::uint8_t>(n.inst.group()), cost});
+    }
     Event ev;
     ev.kind = EvKind::ExecDone;
     ev.node = node;
-    ev.tick = now_ + k_ * bytecode::execution_mesh_cycles(n.inst.group());
+    ev.tick = now_ + cost;
     schedule(ev);
   }
 
@@ -536,6 +621,10 @@ class Run {
     }
     if (n.tail_held) {
       n.tail_held = false;
+      if (mx_ != nullptr && n.tail_hold_tick >= 0) {
+        mx_->tail_hold_ticks.record(now_ - n.tail_hold_tick);
+        n.tail_hold_tick = -1;
+      }
       forward_token(node, n.held_tail);
     }
   }
@@ -546,6 +635,10 @@ class Run {
     exec_delta(-1);
     release_execution_unit(node);
     const Group g = n.inst.group();
+    if (tr_ != nullptr) {
+      tr_->record({now_, obs::TraceEventKind::FireComplete, node,
+                   phys(n.slot), static_cast<std::uint8_t>(g), 0});
+    }
 
     if (node == opt_.inject_exception_at &&
         ++exception_fire_count_ >= opt_.inject_exception_fire &&
@@ -554,9 +647,14 @@ class Run {
       // GPP over the ring, and the GPP terminates the method.
       exception_raised_ = true;
       fabric_.ring().record_request(net::RingService::GppService);
+      const std::int64_t svc_ticks =
+          k_ * fabric_.ring().service_mesh_cycles(
+                   net::RingService::GppService);
+      if (mx_ != nullptr || tr_ != nullptr) {
+        record_service(node, net::RingService::GppService, svc_ticks);
+      }
       completed_ = true;
-      end_tick_ = now_ + k_ * fabric_.ring().service_mesh_cycles(
-                              net::RingService::GppService);
+      end_tick_ = now_ + svc_ticks;
       return;
     }
 
@@ -573,11 +671,16 @@ class Run {
     if (g == Group::Call || (g == Group::Special && !is_switch(n.inst.op))) {
       n.in_service = true;
       fabric_.ring().record_request(net::RingService::GppService);
+      const std::int64_t svc_ticks =
+          k_ * fabric_.ring().service_mesh_cycles(
+                   net::RingService::GppService);
+      if (mx_ != nullptr || tr_ != nullptr) {
+        record_service(node, net::RingService::GppService, svc_ticks);
+      }
       Event ev;
       ev.kind = EvKind::ServiceDone;
       ev.node = node;
-      ev.tick = now_ + k_ * fabric_.ring().service_mesh_cycles(
-                                net::RingService::GppService);
+      ev.tick = now_ + svc_ticks;
       schedule(ev);
       return;
     }
@@ -588,17 +691,27 @@ class Run {
         n.memory_held = false;
         forward_token(node, n.held_memory);
       }
+      const std::int64_t svc_ticks =
+          k_ * fabric_.ring().service_mesh_cycles(
+                   net::RingService::MemoryRead);
+      if (mx_ != nullptr || tr_ != nullptr) {
+        record_service(node, net::RingService::MemoryRead, svc_ticks);
+      }
       Event ev;
       ev.kind = EvKind::ServiceDone;
       ev.node = node;
-      ev.tick = now_ + k_ * fabric_.ring().service_mesh_cycles(
-                                net::RingService::MemoryRead);
+      ev.tick = now_ + svc_ticks;
       schedule(ev);
       return;
     }
     if (g == Group::MemWrite) {
       // Posted write: the node is fired once the request is dispatched.
       fabric_.ring().record_request(net::RingService::MemoryWrite);
+      if (mx_ != nullptr || tr_ != nullptr) {
+        record_service(node, net::RingService::MemoryWrite,
+                       k_ * fabric_.ring().service_mesh_cycles(
+                                net::RingService::MemoryWrite));
+      }
       mark_fired(node);
       post_fire_releases(node);
       return;
@@ -612,6 +725,13 @@ class Run {
   void on_service_done(std::int32_t node) {
     NodeRt& n = nodes_[static_cast<std::size_t>(node)];
     n.in_service = false;
+    if (tr_ != nullptr) {
+      const net::RingService svc = n.inst.group() == Group::MemRead
+                                       ? net::RingService::MemoryRead
+                                       : net::RingService::GppService;
+      tr_->record({now_, obs::TraceEventKind::ServiceComplete, node,
+                   phys(n.slot), static_cast<std::uint8_t>(svc), 0});
+    }
     mark_fired(node);
     send_mesh(node);  // read data / call result to consumers
     post_fire_releases(node);
@@ -684,6 +804,8 @@ class Run {
   const std::int64_t k_;
   const std::int64_t hop_;
   const std::int32_t idus_;
+  obs::MetricsRegistry* const mx_;  // null = telemetry disabled (no-op)
+  obs::EventTracer* const tr_;
   // Workspace-backed storage: all references point into the engine's
   // detail::EngineWorkspace and are re-initialized by execute().
   const std::vector<std::uint8_t>& branch_kinds_;

@@ -19,6 +19,11 @@
 #include "sim/branch_predictor.hpp"
 #include "sim/config.hpp"
 
+namespace javaflow::obs {
+struct MetricsRegistry;
+class EventTracer;
+}  // namespace javaflow::obs
+
 namespace javaflow::sim {
 
 namespace detail {
@@ -85,6 +90,14 @@ struct EngineOptions {
   // and the GPP terminates the method (§6.3 "Exceptions").
   std::int32_t inject_exception_at = -1;
   std::int32_t inject_exception_fire = 1;
+  // Telemetry (src/obs/, docs/OBSERVABILITY.md). Both default to null,
+  // and every instrumentation site is guarded by a single null check, so
+  // the disabled engine is a guaranteed no-op on the hot path. Counters
+  // accumulate across runs; the caller owns the objects and must keep
+  // them alive for the engine's lifetime. Neither is touched by any
+  // other thread while a run is in flight (engines are lane-private).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventTracer* tracer = nullptr;
 };
 
 // An Engine carries only its configuration plus a private scratch

@@ -1,0 +1,54 @@
+// Hardened environment-variable parsing for the bench/sweep knobs.
+//
+// The previous `atoi` parsing silently turned garbage like
+// `JAVAFLOW_THREADS=abc` into 0 (= "one worker per hardware thread"),
+// which is exactly the wrong failure mode for a reproducibility knob.
+// These helpers accept only a complete decimal integer within bounds and
+// otherwise warn once on stderr and fall back to the documented default.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+namespace javaflow::util {
+
+// Strict decimal parse: the whole string must be one integer (optional
+// leading +/-, no trailing text, no overflow). nullopt otherwise.
+inline std::optional<long> parse_long(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return std::nullopt;
+  return v;
+}
+
+// Reads an integer environment variable. Unset -> fallback, silently.
+// Set but malformed or below min_ok -> fallback, with a stderr warning
+// naming the variable and the accepted range.
+inline long env_int(const char* name, long fallback, long min_ok) noexcept {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  const std::optional<long> v = parse_long(text);
+  if (!v.has_value() || *v < min_ok) {
+    std::fprintf(stderr,
+                 "warning: ignoring %s=\"%s\" (expected an integer >= %ld); "
+                 "using %ld\n",
+                 name, text, min_ok, fallback);
+    return fallback;
+  }
+  return *v;
+}
+
+// True for a set-and-truthy flag variable ("1", "true", "yes", "on").
+inline bool env_flag(const char* name) noexcept {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return false;
+  const std::string_view v(text);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace javaflow::util
