@@ -6,8 +6,14 @@
 //                                  method) for quick runs; default 1.
 //   JAVAFLOW_THREADS=<n>           sweep worker threads: 0 = one per
 //                                  hardware thread (default), 1 = serial,
-//                                  n >= 2 = exactly n. Output is identical
-//                                  for every setting (see docs/PERF.md).
+//                                  n >= 2 = exactly n, clamped to the
+//                                  hardware-thread count with a stderr
+//                                  warning. Output is identical for every
+//                                  setting (see docs/PERF.md).
+//   JAVAFLOW_SCHEDULER=<kind>      engine event scheduler: "calendar"
+//                                  (default) or "heap"; both produce
+//                                  bit-identical results (docs/PERF.md
+//                                  "Engine kernel").
 //   JAVAFLOW_SWEEP_HEARTBEAT=1     opt-in stderr progress heartbeat
 //                                  (methods/s + ETA) during sweeps.
 #pragma once

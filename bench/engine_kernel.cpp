@@ -1,0 +1,161 @@
+// Engine-kernel microbenchmark: event-queue push/pop plus fire-drain
+// throughput of the two schedulers (docs/PERF.md "Engine kernel"),
+// isolated from the rest of the sweep (graph building, placement,
+// aggregation). Emits BENCH_kernel.json so a scheduler regression is
+// visible without re-running the whole sweep harness.
+//
+// Two cases, chosen to stress opposite ends of the kernel:
+//   queue_stress — Compact2: non-zero serial hops and real mesh
+//                  distances spread events across many ticks, so the
+//                  run is dominated by queue ordering work.
+//   fire_drain   — Baseline (collapsed): zero-delay serial forwards and
+//                  distance-1 mesh pile events onto dense shared ticks,
+//                  so the run is dominated by same-tick batch draining.
+//
+// Both cases run every corpus kernel method under both schedulers and
+// assert the RunMetrics are identical before reporting throughput.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Case {
+  const char* name;
+  const char* config;  // Table 15 configuration name
+};
+
+struct Measurement {
+  double seconds = 0.0;
+  std::int64_t runs = 0;
+  std::int64_t events = 0;  // serial + mesh messages + 2x firings
+  double runs_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(runs) / seconds : 0.0;
+  }
+  double events_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+// Repetitions per (case, scheduler): enough for a stable wall-clock on
+// this host without making CI smoke runs slow.
+constexpr int kReps = 40;
+
+Measurement run_case(const Case& c, javaflow::sim::SchedulerKind kind,
+                     const std::vector<const javaflow::bytecode::Method*>&
+                         methods,
+                     const std::vector<javaflow::fabric::DataflowGraph>&
+                         graphs,
+                     std::vector<javaflow::sim::RunMetrics>* out_metrics) {
+  javaflow::sim::EngineOptions options;
+  options.scheduler = kind;
+  javaflow::sim::Engine engine(javaflow::sim::config_by_name(c.config),
+                               options);
+  Measurement m;
+  if (out_metrics != nullptr) out_metrics->clear();
+  const auto t0 = Clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      javaflow::sim::BranchPredictor predictor(
+          javaflow::sim::BranchPredictor::Scenario::BP1);
+      const javaflow::sim::RunMetrics r =
+          engine.run(*methods[i], graphs[i], predictor);
+      ++m.runs;
+      // Event-count proxy: one event per serial/mesh delivery plus an
+      // ExecDone (and roughly a ServiceDone) per firing.
+      m.events += r.serial_messages + r.mesh_messages +
+                  2 * r.instructions_fired;
+      if (rep == 0 && out_metrics != nullptr) out_metrics->push_back(r);
+    }
+  }
+  m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  javaflow::bench::Context ctx;
+  const std::vector<const javaflow::bytecode::Method*> methods =
+      ctx.kernel_methods();
+  std::vector<javaflow::fabric::DataflowGraph> graphs;
+  graphs.reserve(methods.size());
+  for (const javaflow::bytecode::Method* m : methods) {
+    graphs.push_back(
+        javaflow::fabric::build_dataflow_graph(*m, ctx.corpus.program.pool));
+  }
+
+  const Case cases[] = {
+      {"queue_stress", "Compact2"},
+      {"fire_drain", "Baseline"},
+  };
+
+  std::printf("engine_kernel: %zu kernel methods x %d reps per case\n",
+              methods.size(), kReps);
+
+  bool all_identical = true;
+  std::string rows;
+  for (const Case& c : cases) {
+    std::vector<javaflow::sim::RunMetrics> heap_metrics, cal_metrics;
+    const Measurement heap = run_case(c, javaflow::sim::SchedulerKind::Heap,
+                                      methods, graphs, &heap_metrics);
+    const Measurement cal =
+        run_case(c, javaflow::sim::SchedulerKind::Calendar, methods, graphs,
+                 &cal_metrics);
+    const bool identical = heap_metrics == cal_metrics;
+    all_identical = all_identical && identical;
+    const double ratio = heap.runs_per_second() > 0.0
+                             ? cal.runs_per_second() / heap.runs_per_second()
+                             : 0.0;
+    std::printf("  %-12s heap: %8.1f runs/s (%.2fM events/s)\n", c.name,
+                heap.runs_per_second(), heap.events_per_second() / 1e6);
+    std::printf("  %-12s cal:  %8.1f runs/s (%.2fM events/s)  %.2fx  "
+                "identical: %s\n",
+                c.name, cal.runs_per_second(),
+                cal.events_per_second() / 1e6, ratio,
+                identical ? "yes" : "NO");
+
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"case\": \"%s\", \"config\": \"%s\", "
+        "\"heap_runs_per_second\": %.2f, "
+        "\"calendar_runs_per_second\": %.2f, "
+        "\"heap_events_per_second\": %.1f, "
+        "\"calendar_events_per_second\": %.1f, "
+        "\"calendar_vs_heap\": %.4f, \"identical\": %s}",
+        c.name, c.config, heap.runs_per_second(), cal.runs_per_second(),
+        heap.events_per_second(), cal.events_per_second(), ratio,
+        identical ? "true" : "false");
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+  }
+
+  std::ofstream json("BENCH_kernel.json");
+  json << "{\n"
+       << "  \"benchmark\": \"engine_kernel\",\n"
+       << "  \"metadata\": {\n"
+       << "    \"git_sha\": \"" << javaflow::bench::git_sha() << "\",\n"
+       << "    \"timestamp_utc\": \""
+       << javaflow::bench::iso_timestamp_utc() << "\",\n"
+       << "    \"methods\": " << methods.size() << ",\n"
+       << "    \"reps\": " << kReps << "\n"
+       << "  },\n"
+       << "  \"cases\": [\n"
+       << rows << "\n  ],\n"
+       << "  \"identical\": " << (all_identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_kernel.json\n");
+
+  // Divergent schedulers are a correctness bug, not a perf result.
+  return all_identical ? 0 : 1;
+}

@@ -47,8 +47,8 @@ double rate(std::size_t cells, double seconds) {
 
 int main() {
   javaflow::bench::Context ctx;
-  const unsigned threads =
-      javaflow::util::ThreadPool::resolve(javaflow::bench::env_threads());
+  const unsigned threads = javaflow::util::ThreadPool::resolve_clamped(
+      javaflow::bench::env_threads());
 
   std::printf("sweep_speed: stride=%d, parallel leg uses %u thread(s)\n",
               javaflow::bench::env_stride(), threads);
@@ -70,6 +70,7 @@ int main() {
   std::printf("  parallel: %.3f s (%.1f cells/s)\n", parallel.seconds,
               rate(cells, parallel.seconds));
   std::printf("  speedup:  %.2fx on %u thread(s)\n", speedup, threads);
+  std::printf("  scheduler: %s\n", serial.sweep.scheduler.c_str());
   std::printf("  identical output: %s\n", identical ? "yes" : "NO");
 
   // Run metadata so BENCH_sweep.json files are comparable across PRs:
@@ -77,6 +78,7 @@ int main() {
   // knobs in effect.
   const char* threads_env = std::getenv("JAVAFLOW_THREADS");
   const char* stride_env = std::getenv("JAVAFLOW_BENCH_STRIDE");
+  const char* scheduler_env = std::getenv("JAVAFLOW_SCHEDULER");
 
   std::ofstream json("BENCH_sweep.json");
   json << "{\n"
@@ -94,7 +96,12 @@ int main() {
        << "    \"env_javaflow_bench_stride\": "
        << (stride_env ? "\"" + std::string(stride_env) + "\""
                       : std::string("null"))
+       << ",\n"
+       << "    \"env_javaflow_scheduler\": "
+       << (scheduler_env ? "\"" + std::string(scheduler_env) + "\""
+                         : std::string("null"))
        << "\n  },\n"
+       << "  \"scheduler\": \"" << serial.sweep.scheduler << "\",\n"
        << "  \"cells\": " << cells << ",\n"
        << "  \"stride\": " << javaflow::bench::env_stride() << ",\n"
        << "  \"threads\": " << threads << ",\n"

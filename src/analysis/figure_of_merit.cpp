@@ -55,6 +55,9 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   Sweep sweep;
   sweep.configs = options.configs.empty() ? sim::table15_configs()
                                           : options.configs;
+  sweep.scheduler =
+      std::string(sim::scheduler_name(
+          sim::resolve_scheduler(options.engine.scheduler)));
   const std::unordered_set<std::string> hot(hot_methods.begin(),
                                             hot_methods.end());
 
@@ -192,7 +195,8 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     heartbeat();
   };
 
-  const unsigned threads = util::ThreadPool::resolve(options.threads);
+  const unsigned threads = util::ThreadPool::resolve_clamped(
+      options.threads, options.allow_oversubscribe);
   std::vector<std::unique_ptr<LaneState>> lanes;
   if (threads <= 1 || picks.size() <= 1) {
     lanes.push_back(make_lane());

@@ -85,7 +85,11 @@ struct SweepOptions {
   // calling thread; 0 uses one worker per hardware thread; n >= 2 uses
   // exactly n workers. The sweep shards per method and writes samples at
   // precomputed indices, so the output is identical for every setting.
+  // Requests beyond std::thread::hardware_concurrency() are clamped with
+  // a stderr warning unless allow_oversubscribe is set — timings from an
+  // oversubscribed sweep misreport the machine.
   int threads = 1;
+  bool allow_oversubscribe = false;
   // Debug mode: statically lint every method's dataflow graph (and its
   // placement on each swept configuration) before executing it. Findings
   // land in Sweep::lint_findings in method order — identical for every
@@ -96,6 +100,11 @@ struct SweepOptions {
 
 struct Sweep {
   std::vector<sim::MachineConfig> configs;
+  // Resolved event-scheduler name ("heap" / "calendar") the engines ran
+  // with — recorded so BENCH_sweep.json and reports state which kernel
+  // produced the numbers. Never affects the samples (the schedulers are
+  // bit-identical; see tests/test_scheduler.cpp).
+  std::string scheduler;
   std::vector<SweepSample> samples;
   // Populated only when SweepOptions::lint is set.
   std::vector<LintFinding> lint_findings;

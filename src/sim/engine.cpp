@@ -22,7 +22,6 @@ using fabric::Edge;
 using fabric::Fabric;
 using fabric::Placement;
 using net::Command;
-using net::SerialMessage;
 
 bool is_switch(Op op) {
   return op == Op::tableswitch || op == Op::lookupswitch;
@@ -42,63 +41,61 @@ bool is_ordered_storage(const Instruction& inst) {
   return g == Group::MemRead || g == Group::MemWrite;
 }
 
-// Per-node runtime state (wraps the Figure 13 resources).
+// The slice of a net::SerialMessage the engine actually routes: every
+// other field stays at its default through the whole simulation, so
+// events and held tokens carry just {cmd, reg} instead of the full
+// Figure 16 record.
+struct Token {
+  Command cmd = Command::HeadToken;
+  std::int32_t reg = -1;
+};
+
+// Firing-state bitmask (struct-of-arrays `state` lane). A node is
+// fire-ready only in the exact state kHeadReceived — any other set bit
+// (already fired, executing, or waiting on a ring service) blocks it, so
+// the hot readiness test is a single byte compare.
+constexpr std::uint8_t kHeadReceived = 0x1;
+constexpr std::uint8_t kFired = 0x2;
+constexpr std::uint8_t kExecuting = 0x4;
+constexpr std::uint8_t kInService = 0x8;
+
+// Cold per-node runtime state (wraps the Figure 13 resources). The hot
+// fields scanned on every event — firing state, operand-buffer
+// occupancy, iteration epoch, physical node, group/pop caches, telemetry
+// timestamps — live in the workspace's struct-of-arrays lanes instead.
 struct NodeRt {
   Instruction inst;
   std::int32_t linear = -1;
   std::int32_t slot = -1;
   const std::vector<Edge>* consumers = nullptr;
 
-  // dynamic
-  bool head_received = false;
-  bool fired = false;
-  bool executing = false;
-  bool in_service = false;
-  std::int32_t pops_received = 0;
-  std::int32_t reset_count = 0;  // iteration epoch for mesh messages
+  // Static classifications cached once per prepare() so the serial
+  // handlers never re-decode the instruction.
+  std::int32_t local_reg = -1;   // bytecode::local_register(inst)
+  bool buffers = false;          // buffers_tokens(inst)
+  bool ordered = false;          // is_ordered_storage(inst)
+  bool backward_goto = false;    // goto/goto_w with target < linear
 
   bool reg_held = false;        // LocalRead/LocalInc captured its token
-  SerialMessage held_reg{};
+  Token held_reg{};
   bool write_absorbed = false;  // LocalWrite consumed the stale token
   bool kill_next_register = false;
   bool memory_held = false;     // ordered storage holds MEMORY_TOKEN
-  SerialMessage held_memory{};
+  Token held_memory{};
   bool tail_held = false;       // non-control node holding the TAIL
-  SerialMessage held_tail{};
+  Token held_tail{};
   bool tail_present = false;    // control node has TAIL in its buffer
 
-  std::vector<SerialMessage> buffered;  // control-node token buffer
+  std::vector<Token> buffered;  // control-node token buffer
   bool pass_through = false;    // fired forward transfer: route follows
   std::int32_t route_to = net::kToNext;
   bool waiting_tail_flush = false;  // back transfer fired, awaiting TAIL
   std::int32_t decided_target = -1;
 
-  // Telemetry timestamps (written only when EngineOptions::metrics is
-  // set; always reset so stale values cannot leak across iterations).
-  std::int64_t head_tick = -1;       // latest HEAD_TOKEN arrival
-  std::int64_t tail_hold_tick = -1;  // when this node started holding TAIL
-
-  // Full re-initialization for a fresh run: unlike reset_iteration(),
-  // this also rebinds the static fields and zeroes the epoch counter.
-  // `buffered` keeps its capacity, so a reused workspace stops paying
-  // for operand-buffer growth after the first run.
-  void prepare(const Instruction& instruction, std::int32_t linear_addr,
-               std::int32_t slot_addr, const std::vector<Edge>* edges) {
-    inst = instruction;
-    linear = linear_addr;
-    slot = slot_addr;
-    consumers = edges;
-    reset_iteration();
-    reset_count = 0;
-  }
-
-  void reset_iteration() {
-    head_received = false;
-    fired = false;
-    executing = false;
-    in_service = false;
-    pops_received = 0;
-    ++reset_count;
+  // `buffered` keeps its capacity across iterations and runs, so a
+  // reused workspace stops paying for operand-buffer growth after the
+  // first run.
+  void reset_cold() {
     reg_held = false;
     write_absorbed = false;
     kill_next_register = false;
@@ -110,41 +107,67 @@ struct NodeRt {
     route_to = net::kToNext;
     waiting_tail_flush = false;
     decided_target = -1;
-    head_tick = -1;
-    tail_hold_tick = -1;
   }
 };
 
 enum class EvKind : std::uint8_t { Serial, Mesh, ExecDone, ServiceDone };
 
+// 32-byte event record. `aux` is the serial register number (Serial) or
+// the consumer's iteration epoch (Mesh); the old full-SerialMessage
+// payload is gone because the engine only ever read {cmd, reg}.
 struct Event {
   std::int64_t tick = 0;
   std::int64_t seq = 0;
-  EvKind kind = EvKind::Serial;
   std::int32_t node = -1;
-  SerialMessage msg{};       // Serial
-  std::uint8_t side = 0;     // Mesh
-  std::int32_t epoch = 0;    // Mesh
-  bool operator>(const Event& o) const {
-    return std::tie(tick, seq) > std::tie(o.tick, o.seq);
-  }
+  std::int32_t aux = 0;
+  EvKind kind = EvKind::Serial;
+  Command cmd = Command::HeadToken;  // Serial only
+  std::uint8_t side = 0;             // Mesh only
 };
+static_assert(sizeof(Event) == 32, "Event should stay two cache quads");
 
 // Min-heap comparator over (tick, seq). (tick, seq) is a strict total
 // order — seq is unique — so the pop order is deterministic regardless
-// of the heap's internal layout.
+// of the heap's internal layout. The calendar queue reproduces exactly
+// this order (docs/PERF.md "Engine kernel" has the argument).
 struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const { return a > b; }
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.tick, a.seq) > std::tie(b.tick, b.seq);
+  }
 };
+
+// Largest per-group execution cost in mesh cycles (Table 17: FpArith).
+constexpr std::int64_t kMaxExecMeshCycles = 10;
+// Calendar-ring ceiling: beyond this, long delays spill to the overflow
+// heap rather than growing the bucket array without bound.
+constexpr std::int64_t kMaxBuckets = 4096;
 
 }  // namespace
 
 struct detail::EngineWorkspace {
+  // Cold per-node state plus the struct-of-arrays hot lanes. The lanes
+  // are indexed by linear instruction address, same as `nodes`.
   std::vector<NodeRt> nodes;
+  std::vector<std::uint8_t> node_state;   // kHeadReceived|kFired|...
+  std::vector<std::uint8_t> node_group;   // cached Instruction::group()
+  std::vector<std::int32_t> node_pop;     // cached Instruction::pop
+  std::vector<std::int32_t> node_pops;    // mesh operands received
+  std::vector<std::int32_t> node_epoch;   // iteration epoch (mesh filter)
+  std::vector<std::int32_t> node_phys;    // physical node of the slot
+  std::vector<std::int64_t> node_head_tick;  // latest HEAD arrival
+  std::vector<std::int64_t> node_tail_hold;  // TAIL hold start
   std::vector<char> distinct;
-  std::vector<Event> events;  // binary-heap backing store
   std::vector<char> node_exec_busy;
   std::vector<std::vector<std::int32_t>> pending_fire;
+
+  // Event-queue backing stores. `heap` backs the binary-heap scheduler;
+  // `buckets`/`overflow` back the calendar queue. All grow monotonically
+  // over the workspace lifetime so the sweep inner loop stops paying
+  // reserve/allocation costs after the first few runs.
+  std::vector<Event> heap;
+  std::vector<std::vector<Event>> buckets;
+  std::vector<Event> overflow;
+  std::vector<Token> flush_scratch;  // flush_up bundle staging
 
   // classify_branches() cache: configuration-independent, so it only
   // needs recomputing when the engine is handed a different method.
@@ -173,17 +196,30 @@ class Run {
         k_(cfg.serial_per_mesh),
         hop_(cfg.collapsed() ? 0 : 1),
         idus_(std::max(cfg.idus_per_node, 1)),
+        use_calendar_(opt.scheduler != SchedulerKind::Heap),
+        trace_(opt.trace),
         mx_(opt.metrics),
         tr_(opt.tracer),
         branch_kinds_(ws.branch_kinds),
         node_exec_busy_(ws.node_exec_busy),
         pending_fire_(ws.pending_fire),
         nodes_(ws.nodes),
+        state_(ws.node_state),
+        group_(ws.node_group),
+        pop_need_(ws.node_pop),
+        pops_(ws.node_pops),
+        epoch_(ws.node_epoch),
+        phys_(ws.node_phys),
+        head_tick_(ws.node_head_tick),
+        tail_hold_(ws.node_tail_hold),
         distinct_(ws.distinct),
-        events_(ws.events) {}
+        heap_(ws.heap),
+        buckets_(ws.buckets),
+        overflow_(ws.overflow),
+        flush_scratch_(ws.flush_scratch) {}
 
   // Physical Instruction Node hosting an IDU chain slot (§4.2).
-  std::int32_t phys(std::int32_t slot) const { return slot / idus_; }
+  std::int32_t phys_of_slot(std::int32_t slot) const { return slot / idus_; }
 
   RunMetrics execute() {
     RunMetrics metrics;
@@ -195,7 +231,7 @@ class Run {
     metrics.max_slot = placement_.max_slot;
 
     node_exec_busy_.assign(
-        static_cast<std::size_t>(phys(placement_.max_slot) + 1), 0);
+        static_cast<std::size_t>(phys_of_slot(placement_.max_slot) + 1), 0);
     // Keep the per-physical-node pending lists (and their capacity)
     // across runs; only the entries this method can touch need clearing.
     if (pending_fire_.size() < node_exec_busy_.size()) {
@@ -204,35 +240,29 @@ class Run {
     for (std::size_t i = 0; i < node_exec_busy_.size(); ++i) {
       pending_fire_[i].clear();
     }
-    nodes_.resize(m_.code.size());
-    for (std::size_t i = 0; i < m_.code.size(); ++i) {
-      nodes_[i].prepare(m_.code[i], static_cast<std::int32_t>(i),
-                        placement_.slot_of[i], &graph_.consumers_of[i]);
+    const std::size_t nn = m_.code.size();
+    nodes_.resize(nn);
+    state_.assign(nn, 0);
+    group_.resize(nn);
+    pop_need_.resize(nn);
+    pops_.assign(nn, 0);
+    epoch_.assign(nn, 0);
+    phys_.resize(nn);
+    head_tick_.assign(nn, -1);
+    tail_hold_.assign(nn, -1);
+    for (std::size_t i = 0; i < nn; ++i) prepare_node(i);
+    distinct_.assign(nn, 0);
+
+    if (use_calendar_) {
+      init_calendar();
+    } else {
+      init_heap();
     }
-    distinct_.assign(m_.code.size(), 0);
-    events_.clear();
-    // Amortize event-queue growth: outstanding events scale with the
-    // token bundle plus in-flight mesh traffic, both O(method size).
-    events_.reserve(std::max<std::size_t>(64, 4 * m_.code.size()));
-
     inject_bundle();
-
-    while (!events_.empty() && !completed_) {
-      std::pop_heap(events_.begin(), events_.end(), EventAfter{});
-      const Event ev = events_.back();
-      events_.pop_back();
-      now_ = ev.tick;
-      if (opt_.trace) trace_event(ev);
-      if (now_ > opt_.max_ticks) {
-        metrics.timed_out = true;
-        break;
-      }
-      switch (ev.kind) {
-        case EvKind::Serial: on_serial(ev.node, ev.msg); break;
-        case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.epoch); break;
-        case EvKind::ExecDone: on_exec_done(ev.node); break;
-        case EvKind::ServiceDone: on_service_done(ev.node); break;
-      }
+    if (use_calendar_) {
+      run_calendar(metrics);
+    } else {
+      run_heap(metrics);
     }
 
     flush_exec_accounting();
@@ -253,6 +283,187 @@ class Run {
   }
 
  private:
+  void prepare_node(std::size_t i) {
+    NodeRt& n = nodes_[i];
+    const Instruction& inst = m_.code[i];
+    n.inst = inst;
+    n.linear = static_cast<std::int32_t>(i);
+    n.slot = placement_.slot_of[i];
+    n.consumers = &graph_.consumers_of[i];
+    n.local_reg = bytecode::local_register(inst);
+    n.buffers = buffers_tokens(inst);
+    n.ordered = is_ordered_storage(inst);
+    n.backward_goto = (inst.op == Op::goto_ || inst.op == Op::goto_w) &&
+                      inst.target < n.linear;
+    n.reset_cold();
+    group_[i] = static_cast<std::uint8_t>(inst.group());
+    pop_need_[i] = inst.pop;
+    phys_[i] = phys_of_slot(n.slot);
+  }
+
+  // Iteration reset (loop replay): clears the hot lanes and the cold
+  // routing state, and bumps the epoch so in-flight mesh operands from
+  // the previous trip are discarded on arrival.
+  void reset_node(std::int32_t i) {
+    const auto u = static_cast<std::size_t>(i);
+    state_[u] = 0;
+    pops_[u] = 0;
+    ++epoch_[u];
+    head_tick_[u] = -1;
+    tail_hold_[u] = -1;
+    nodes_[u].reset_cold();
+  }
+
+  // ---- schedulers ----
+  //
+  // Both hand events out in ascending (tick, seq): the binary heap by
+  // comparator, the calendar queue by construction — every bucket in the
+  // active window holds exactly one tick with events appended in seq
+  // order (overflow spill migrates into the window before any same-tick
+  // event can be scheduled directly, and seq grows monotonically with
+  // scheduling time). docs/PERF.md sketches the full argument;
+  // tests/test_scheduler.cpp asserts bit-identical output.
+
+  void init_heap() {
+    heap_.clear();
+    // Amortize event-queue growth: outstanding events scale with the
+    // token bundle plus in-flight mesh traffic, both O(method size).
+    // Monotonic over the workspace lifetime — once a previous run grew
+    // the buffer this is a no-op, not a fresh reserve.
+    const std::size_t want = std::max<std::size_t>(64, 4 * m_.code.size());
+    if (heap_.capacity() < want) heap_.reserve(want);
+  }
+
+  void init_calendar() {
+    // Size the ring from the largest bounded delay the model can emit:
+    // serial chain traversal (+ bundle spacing), a corner-to-corner mesh
+    // route, the costliest execution group, and the slowest ring
+    // service. Delays beyond the ring (rare: long forward jumps on big
+    // methods once the ring is capped) spill to the overflow heap, so
+    // the bound is a performance knob, never a correctness one.
+    const std::int64_t chain = phys_of_slot(placement_.max_slot) + 1;
+    const std::int64_t width = std::max(cfg_.width, 1);
+    const std::int64_t rows = (chain + width - 1) / width;
+    std::int64_t h = hop_ * (chain + 1) + m_.max_locals + 3;
+    h = std::max(h, k_ * (width + rows));
+    h = std::max(h, k_ * kMaxExecMeshCycles);
+    const net::RingLatencies& rl = fabric_.ring().latencies();
+    h = std::max(h, k_ * std::max({rl.memory_read, rl.memory_write,
+                                   rl.constant_read, rl.gpp_service}));
+    const std::int64_t cap = std::min<std::int64_t>(h + 1, kMaxBuckets);
+    std::int64_t b = 16;
+    while (b < cap) b <<= 1;
+    bucket_count_ = b;
+    bucket_mask_ = b - 1;
+    if (buckets_.size() < static_cast<std::size_t>(b)) {
+      buckets_.resize(static_cast<std::size_t>(b));
+    }
+    // A completed run can leave undrained events behind; clear every
+    // bucket (cheap: clear() keeps capacity) rather than tracking dirt.
+    for (std::vector<Event>& bucket : buckets_) bucket.clear();
+    overflow_.clear();
+    cal_cur_ = 0;
+    live_events_ = 0;
+  }
+
+  void schedule(Event ev) {
+    ev.seq = seq_++;
+    if (use_calendar_) {
+      ++live_events_;
+      if (ev.tick < cal_cur_ + bucket_count_) {
+        buckets_[static_cast<std::size_t>(ev.tick & bucket_mask_)]
+            .push_back(ev);
+      } else {
+        overflow_.push_back(ev);
+        std::push_heap(overflow_.begin(), overflow_.end(), EventAfter{});
+      }
+    } else {
+      heap_.push_back(ev);
+      std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    }
+  }
+
+  // Pull every spilled event whose tick entered the active window into
+  // its bucket. Called before any draining/scheduling at the current
+  // tick, so spilled events always precede later direct insertions and
+  // buckets stay seq-sorted.
+  void migrate_overflow() {
+    while (!overflow_.empty() &&
+           overflow_.front().tick < cal_cur_ + bucket_count_) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), EventAfter{});
+      const Event ev = overflow_.back();
+      overflow_.pop_back();
+      buckets_[static_cast<std::size_t>(ev.tick & bucket_mask_)]
+          .push_back(ev);
+    }
+  }
+
+  void run_heap(RunMetrics& metrics) {
+    while (!heap_.empty() && !completed_) {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      const Event ev = heap_.back();
+      heap_.pop_back();
+      now_ = ev.tick;
+      if (trace_) trace_event(ev);
+      if (now_ > opt_.max_ticks) {
+        metrics.timed_out = true;
+        break;
+      }
+      dispatch(ev);
+    }
+  }
+
+  void run_calendar(RunMetrics& metrics) {
+    while (live_events_ > 0 && !completed_) {
+      migrate_overflow();
+      std::vector<Event>* bucket =
+          &buckets_[static_cast<std::size_t>(cal_cur_ & bucket_mask_)];
+      while (bucket->empty()) {
+        // When everything live sits in the spill, jump straight to its
+        // earliest tick instead of walking empty buckets one by one.
+        if (live_events_ == static_cast<std::int64_t>(overflow_.size())) {
+          cal_cur_ = overflow_.front().tick;
+        } else {
+          ++cal_cur_;
+        }
+        migrate_overflow();
+        bucket = &buckets_[static_cast<std::size_t>(cal_cur_ & bucket_mask_)];
+      }
+      now_ = cal_cur_;
+      if (now_ > opt_.max_ticks) {
+        // Match the heap's abort trace: it pops (and prints) exactly the
+        // first over-budget event before giving up.
+        if (trace_) trace_event(bucket->front());
+        metrics.timed_out = true;
+        break;
+      }
+      // Batch-drain the whole tick: now_ is set once, and the index scan
+      // tolerates the bucket growing underneath us (zero-delay serial
+      // forwards in the collapsed Baseline land on the current tick,
+      // always with a larger seq — i.e. behind the scan point).
+      std::size_t i = 0;
+      for (; i < bucket->size() && !completed_; ++i) {
+        const Event ev = (*bucket)[i];
+        if (trace_) trace_event(ev);
+        dispatch(ev);
+      }
+      live_events_ -= static_cast<std::int64_t>(i);
+      bucket->clear();
+      ++cal_cur_;
+    }
+  }
+
+  void dispatch(const Event& ev) {
+    switch (ev.kind) {
+      case EvKind::Serial:
+        on_serial(ev.node, Token{ev.cmd, ev.aux});
+        break;
+      case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.aux); break;
+      case EvKind::ExecDone: on_exec_done(ev.node); break;
+      case EvKind::ServiceDone: on_service_done(ev.node); break;
+    }
+  }
+
   void trace_event(const Event& ev) {
     const char* kind = ev.kind == EvKind::Serial ? "serial"
                        : ev.kind == EvKind::Mesh ? "mesh"
@@ -261,35 +472,25 @@ class Run {
                  ev.node);
     if (ev.kind == EvKind::Serial) {
       std::fprintf(stderr, " cmd=%s reg=%d",
-                   std::string(net::command_name(ev.msg.cmd)).c_str(),
-                   ev.msg.reg);
+                   std::string(net::command_name(ev.cmd)).c_str(), ev.aux);
     }
     if (ev.kind == EvKind::Mesh) {
-      std::fprintf(stderr, " side=%d epoch=%d", ev.side, ev.epoch);
+      std::fprintf(stderr, " side=%d epoch=%d", ev.side, ev.aux);
     }
     std::fprintf(stderr, "\n");
   }
 
   // ---- scheduling helpers ----
-  void schedule(Event ev) {
-    ev.seq = seq_++;
-    events_.push_back(ev);
-    std::push_heap(events_.begin(), events_.end(), EventAfter{});
-  }
-
   std::int64_t serial_delay(std::int32_t from_node, std::int32_t to_node) {
     const std::int32_t a =
-        from_node < 0
-            ? -1
-            : phys(nodes_[static_cast<std::size_t>(from_node)].slot);
-    const std::int32_t b =
-        phys(nodes_[static_cast<std::size_t>(to_node)].slot);
+        from_node < 0 ? -1 : phys_[static_cast<std::size_t>(from_node)];
+    const std::int32_t b = phys_[static_cast<std::size_t>(to_node)];
     const std::int64_t hops = a < 0 ? b + 1 : (a < b ? b - a : a - b);
     return hop_ * std::max<std::int64_t>(hops, 1);
   }
 
   void send_serial(std::int32_t from_node, std::int32_t to_node,
-                   SerialMessage msg, std::int64_t extra = 0) {
+                   Token tok, std::int64_t extra = 0) {
     if (to_node < 0 ||
         static_cast<std::size_t>(to_node) >= nodes_.size()) {
       return;  // token falls off the chain (e.g. past the bottom)
@@ -299,31 +500,32 @@ class Run {
     if (mx_ != nullptr) {
       ++mx_->serial_messages;
       mx_->serial_hop_ticks += static_cast<std::uint64_t>(delay);
-      ++mx_->serial_commands[static_cast<std::size_t>(msg.cmd)];
+      ++mx_->serial_commands[static_cast<std::size_t>(tok.cmd)];
     }
     Event ev;
     ev.kind = EvKind::Serial;
     ev.node = to_node;
-    ev.msg = msg;
+    ev.cmd = tok.cmd;
+    ev.aux = tok.reg;
     ev.tick = now_ + delay + extra;
     schedule(ev);
   }
 
   void send_mesh(std::int32_t producer) {
-    NodeRt& p = nodes_[static_cast<std::size_t>(producer)];
+    const NodeRt& p = nodes_[static_cast<std::size_t>(producer)];
+    const std::int32_t from_phys = phys_[static_cast<std::size_t>(producer)];
     for (const Edge& e : *p.consumers) {
       if (e.back) continue;  // absent in valid Java (Table 7)
-      NodeRt& c = nodes_[static_cast<std::size_t>(e.consumer)];
       ++mesh_messages_;
-      const std::int32_t from_phys = phys(p.slot);
-      const std::int32_t to_phys = phys(c.slot);
+      const std::int32_t to_phys =
+          phys_[static_cast<std::size_t>(e.consumer)];
       const std::int64_t cycles = fabric_.mesh_cycles(from_phys, to_phys);
       if (mx_ != nullptr) record_mesh_metrics(from_phys, to_phys, cycles);
       Event ev;
       ev.kind = EvKind::Mesh;
       ev.node = e.consumer;
       ev.side = e.side;
-      ev.epoch = c.reset_count;
+      ev.aux = epoch_[static_cast<std::size_t>(e.consumer)];
       ev.tick = now_ + k_ * cycles;
       schedule(ev);
     }
@@ -345,9 +547,10 @@ class Run {
         });
   }
 
-  void note_buffered(const NodeRt& n) {
+  void note_buffered(std::int32_t node, const NodeRt& n) {
     if (mx_ != nullptr) {
-      mx_->buffer_high_water(phys(n.slot), n.buffered.size());
+      mx_->buffer_high_water(phys_[static_cast<std::size_t>(node)],
+                             n.buffered.size());
     }
   }
 
@@ -359,7 +562,7 @@ class Run {
     }
     if (tr_ != nullptr) {
       tr_->record({now_, obs::TraceEventKind::ServiceStart, node,
-                   phys(nodes_[static_cast<std::size_t>(node)].slot),
+                   phys_[static_cast<std::size_t>(node)],
                    static_cast<std::uint8_t>(svc), ticks});
     }
   }
@@ -379,197 +582,192 @@ class Run {
 
   // ---- token bundle ----
   void inject_bundle() {
-    std::vector<SerialMessage> bundle;
-    bundle.push_back({Command::HeadToken});
-    bundle.push_back({Command::MemoryToken});
-    for (int r = 0; r < m_.max_locals; ++r) {
-      SerialMessage reg{Command::RegisterToken};
-      reg.reg = r;
-      bundle.push_back(reg);
-    }
-    bundle.push_back({Command::TailToken});
-    for (std::size_t i = 0; i < bundle.size(); ++i) {
-      now_ = 0;
-      send_serial(-1, 0, bundle[i],
-                  hop_ == 0 ? 0 : static_cast<std::int64_t>(i));
-    }
+    const std::int64_t spacing = hop_ == 0 ? 0 : 1;
+    std::int64_t idx = 0;
     now_ = 0;
+    send_serial(-1, 0, Token{Command::HeadToken, -1}, spacing * idx++);
+    send_serial(-1, 0, Token{Command::MemoryToken, -1}, spacing * idx++);
+    for (std::int32_t r = 0; r < m_.max_locals; ++r) {
+      send_serial(-1, 0, Token{Command::RegisterToken, r}, spacing * idx++);
+    }
+    send_serial(-1, 0, Token{Command::TailToken, -1}, spacing * idx++);
   }
 
   // ---- serial handlers ----
-  void forward_token(std::int32_t node, const SerialMessage& msg) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    const std::int32_t to =
-        n.pass_through ? n.route_to : node + 1;
-    send_serial(node, to == net::kToNext ? node + 1 : to, msg);
+  void forward_token(std::int32_t node, Token tok) {
+    const NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+    const std::int32_t to = n.pass_through ? n.route_to : node + 1;
+    send_serial(node, to == net::kToNext ? node + 1 : to, tok);
   }
 
-  void on_serial(std::int32_t node, const SerialMessage& msg) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
+  void on_serial(std::int32_t node, Token tok) {
+    const auto u = static_cast<std::size_t>(node);
+    NodeRt& n = nodes_[u];
     if (tr_ != nullptr) {
       tr_->record({now_, obs::TraceEventKind::TokenDeliver, node,
-                   phys(n.slot), static_cast<std::uint8_t>(msg.cmd), 0});
+                   phys_[u], static_cast<std::uint8_t>(tok.cmd), 0});
     }
     // Control-transfer nodes hold the bundle while unfired AND while a
     // fired backward transfer awaits its TAIL — those tokens are the
     // bundle that will replay around the loop (§6.3).
     const bool hold =
-        buffers_tokens(n.inst) && (!n.fired || n.waiting_tail_flush);
+        n.buffers && (!(state_[u] & kFired) || n.waiting_tail_flush);
 
-    switch (msg.cmd) {
+    switch (tok.cmd) {
       case Command::HeadToken:
-        n.head_received = true;
-        if (mx_ != nullptr) n.head_tick = now_;
+        state_[u] |= kHeadReceived;
+        if (mx_ != nullptr) head_tick_[u] = now_;
         if (hold) {
-          n.buffered.push_back(msg);
-          note_buffered(n);
+          n.buffered.push_back(tok);
+          note_buffered(node, n);
           try_fire(node);
         } else {
           try_fire(node);
-          forward_token(node, msg);  // the HEAD runs ahead (§6.3)
+          forward_token(node, tok);  // the HEAD runs ahead (§6.3)
         }
         return;
 
       case Command::MemoryToken:
         if (hold) {
-          n.buffered.push_back(msg);
-          note_buffered(n);
+          n.buffered.push_back(tok);
+          note_buffered(node, n);
           return;
         }
-        if (is_ordered_storage(n.inst) && !n.fired) {
+        if (n.ordered && !(state_[u] & kFired)) {
           n.memory_held = true;
-          n.held_memory = msg;
+          n.held_memory = tok;
           try_fire(node);
           return;
         }
-        forward_token(node, msg);
+        forward_token(node, tok);
         return;
 
       case Command::RegisterToken: {
         if (hold) {
-          n.buffered.push_back(msg);
-          note_buffered(n);
+          n.buffered.push_back(tok);
+          note_buffered(node, n);
           return;
         }
-        const Group g = n.inst.group();
-        const std::int32_t reg = bytecode::local_register(n.inst);
+        const Group g = static_cast<Group>(group_[u]);
         if ((g == Group::LocalRead || g == Group::LocalInc) &&
-            reg == msg.reg && !n.fired && !n.reg_held) {
+            n.local_reg == tok.reg && !(state_[u] & kFired) &&
+            !n.reg_held) {
           n.reg_held = true;
-          n.held_reg = msg;
+          n.held_reg = tok;
           try_fire(node);
           return;
         }
-        if (g == Group::LocalWrite && reg == msg.reg) {
-          if (!n.fired) {
+        if (g == Group::LocalWrite && n.local_reg == tok.reg) {
+          if (!(state_[u] & kFired)) {
             n.write_absorbed = true;  // the write kills the old value
           } else if (n.kill_next_register) {
             n.kill_next_register = false;  // stale token after firing
           } else {
-            forward_token(node, msg);
+            forward_token(node, tok);
           }
           return;
         }
-        forward_token(node, msg);
+        forward_token(node, tok);
         return;
       }
 
       case Command::TailToken:
-        if (buffers_tokens(n.inst)) {
-          if (!n.fired) {
-            n.buffered.push_back(msg);
-            note_buffered(n);
+        if (n.buffers) {
+          if (!(state_[u] & kFired)) {
+            n.buffered.push_back(tok);
+            note_buffered(node, n);
             n.tail_present = true;
             try_fire(node);  // returns / backward gotos need the TAIL
             return;
           }
           if (n.waiting_tail_flush) {
-            n.buffered.push_back(msg);
-            note_buffered(n);
+            n.buffered.push_back(tok);
+            note_buffered(node, n);
             flush_up(node);
             return;
           }
-          forward_token(node, msg);
+          forward_token(node, tok);
           return;
         }
-        if (n.fired) {
-          forward_token(node, msg);
+        if (state_[u] & kFired) {
+          forward_token(node, tok);
         } else {
           n.tail_held = true;  // held until this node fires (§6.3)
-          n.held_tail = msg;
-          if (mx_ != nullptr) n.tail_hold_tick = now_;
+          n.held_tail = tok;
+          if (mx_ != nullptr) tail_hold_[u] = now_;
         }
         return;
 
       default:
-        forward_token(node, msg);
+        forward_token(node, tok);
         return;
     }
   }
 
   void on_mesh(std::int32_t node, std::uint8_t side, std::int32_t epoch) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    if (n.reset_count != epoch) return;  // stale (previous iteration)
+    const auto u = static_cast<std::size_t>(node);
+    if (epoch_[u] != epoch) return;  // stale (previous iteration)
     if (tr_ != nullptr) {
       tr_->record({now_, obs::TraceEventKind::OperandArrive, node,
-                   phys(n.slot), side, 0});
+                   phys_[u], side, 0});
     }
-    ++n.pops_received;
+    ++pops_[u];
     try_fire(node);
   }
 
   // ---- firing ----
-  bool fire_ready(const NodeRt& n) const {
-    if (!n.head_received || n.fired || n.executing || n.in_service) {
-      return false;
-    }
-    const Group g = n.inst.group();
-    switch (g) {
+  bool fire_ready(std::int32_t node) const {
+    const auto u = static_cast<std::size_t>(node);
+    // Exactly "HEAD received and nothing else": fired / executing /
+    // in-service all block, so one byte compare covers four flags.
+    if (state_[u] != kHeadReceived) return false;
+    const NodeRt& n = nodes_[u];
+    switch (static_cast<Group>(group_[u])) {
       case Group::LocalRead:
       case Group::LocalInc:
         return n.reg_held;
       case Group::MemRead:
       case Group::MemWrite:
-        return n.pops_received >= n.inst.pop && n.memory_held;
+        return pops_[u] >= pop_need_[u] && n.memory_held;
       case Group::Return:
-        return n.pops_received >= n.inst.pop && n.tail_present;
+        return pops_[u] >= pop_need_[u] && n.tail_present;
       case Group::ControlFlow:
-        if ((n.inst.op == Op::goto_ || n.inst.op == Op::goto_w) &&
-            n.inst.target < n.linear) {
+        if (n.backward_goto) {
           return n.tail_present;  // backward GoTo fires on TAIL (§6.3)
         }
-        return n.pops_received >= n.inst.pop;
+        return pops_[u] >= pop_need_[u];
       default:
-        return n.pops_received >= n.inst.pop;
+        return pops_[u] >= pop_need_[u];
     }
   }
 
   void try_fire(std::int32_t node) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    if (!fire_ready(n)) return;
+    if (!fire_ready(node)) return;
+    const auto u = static_cast<std::size_t>(node);
     // One Instruction Execution Unit per physical node: with several
     // IDUs packed into a node (§4.2), firings within a node serialize.
-    const std::size_t pn = static_cast<std::size_t>(phys(n.slot));
+    const std::size_t pn = static_cast<std::size_t>(phys_[u]);
     if (idus_ > 1 && node_exec_busy_[pn]) {
       pending_fire_[pn].push_back(node);
       return;
     }
     node_exec_busy_[pn] = true;
-    n.executing = true;
+    state_[u] |= kExecuting;
     exec_delta(+1);
-    const std::int64_t cost =
-        k_ * bytecode::execution_mesh_cycles(n.inst.group());
+    const Group g = static_cast<Group>(group_[u]);
+    const std::int64_t cost = k_ * bytecode::execution_mesh_cycles(g);
     if (mx_ != nullptr) {
       mx_->node_firing(static_cast<std::int32_t>(pn),
-                       static_cast<std::uint8_t>(n.inst.op));
-      mx_->exec_ticks_by_group[static_cast<std::size_t>(n.inst.group())]
-          .record(cost);
-      if (n.head_tick >= 0) mx_->fire_stall_ticks.record(now_ - n.head_tick);
+                       static_cast<std::uint8_t>(nodes_[u].inst.op));
+      mx_->exec_ticks_by_group[static_cast<std::size_t>(g)].record(cost);
+      if (head_tick_[u] >= 0) {
+        mx_->fire_stall_ticks.record(now_ - head_tick_[u]);
+      }
     }
     if (tr_ != nullptr) {
       tr_->record({now_, obs::TraceEventKind::FireStart, node,
                    static_cast<std::int32_t>(pn),
-                   static_cast<std::uint8_t>(n.inst.group()), cost});
+                   static_cast<std::uint8_t>(g), cost});
     }
     Event ev;
     ev.kind = EvKind::ExecDone;
@@ -579,8 +777,8 @@ class Run {
   }
 
   void release_execution_unit(std::int32_t node) {
-    const std::size_t pn = static_cast<std::size_t>(
-        phys(nodes_[static_cast<std::size_t>(node)].slot));
+    const std::size_t pn =
+        static_cast<std::size_t>(phys_[static_cast<std::size_t>(node)]);
     node_exec_busy_[pn] = false;
     if (idus_ <= 1) return;
     auto& pending = pending_fire_[pn];
@@ -593,16 +791,17 @@ class Run {
   }
 
   void mark_fired(std::int32_t node) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    n.fired = true;
+    const auto u = static_cast<std::size_t>(node);
+    state_[u] |= kFired;
     ++fired_count_;
-    distinct_[static_cast<std::size_t>(node)] = true;
+    distinct_[u] = true;
   }
 
   // Releases everything a non-control node owes downstream after firing.
   void post_fire_releases(std::int32_t node) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    const Group g = n.inst.group();
+    const auto u = static_cast<std::size_t>(node);
+    NodeRt& n = nodes_[u];
+    const Group g = static_cast<Group>(group_[u]);
     if (g == Group::LocalRead || g == Group::LocalInc) {
       if (n.reg_held) {
         n.reg_held = false;
@@ -610,9 +809,7 @@ class Run {
       }
     }
     if (g == Group::LocalWrite) {
-      SerialMessage reg{Command::RegisterToken};
-      reg.reg = bytecode::local_register(n.inst);
-      forward_token(node, reg);  // freshly written register value
+      forward_token(node, Token{Command::RegisterToken, n.local_reg});
       if (!n.write_absorbed) n.kill_next_register = true;
     }
     if (n.memory_held) {
@@ -621,23 +818,24 @@ class Run {
     }
     if (n.tail_held) {
       n.tail_held = false;
-      if (mx_ != nullptr && n.tail_hold_tick >= 0) {
-        mx_->tail_hold_ticks.record(now_ - n.tail_hold_tick);
-        n.tail_hold_tick = -1;
+      if (mx_ != nullptr && tail_hold_[u] >= 0) {
+        mx_->tail_hold_ticks.record(now_ - tail_hold_[u]);
+        tail_hold_[u] = -1;
       }
       forward_token(node, n.held_tail);
     }
   }
 
   void on_exec_done(std::int32_t node) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    n.executing = false;
+    const auto u = static_cast<std::size_t>(node);
+    NodeRt& n = nodes_[u];
+    state_[u] &= static_cast<std::uint8_t>(~kExecuting);
     exec_delta(-1);
     release_execution_unit(node);
-    const Group g = n.inst.group();
+    const Group g = static_cast<Group>(group_[u]);
     if (tr_ != nullptr) {
       tr_->record({now_, obs::TraceEventKind::FireComplete, node,
-                   phys(n.slot), static_cast<std::uint8_t>(g), 0});
+                   phys_[u], static_cast<std::uint8_t>(g), 0});
     }
 
     if (node == opt_.inject_exception_at &&
@@ -669,7 +867,7 @@ class Run {
       return;
     }
     if (g == Group::Call || (g == Group::Special && !is_switch(n.inst.op))) {
-      n.in_service = true;
+      state_[u] |= kInService;
       fabric_.ring().record_request(net::RingService::GppService);
       const std::int64_t svc_ticks =
           k_ * fabric_.ring().service_mesh_cycles(
@@ -685,7 +883,7 @@ class Run {
       return;
     }
     if (g == Group::MemRead) {
-      n.in_service = true;
+      state_[u] |= kInService;
       fabric_.ring().record_request(net::RingService::MemoryRead);
       if (n.memory_held) {
         n.memory_held = false;
@@ -723,14 +921,15 @@ class Run {
   }
 
   void on_service_done(std::int32_t node) {
-    NodeRt& n = nodes_[static_cast<std::size_t>(node)];
-    n.in_service = false;
+    const auto u = static_cast<std::size_t>(node);
+    state_[u] &= static_cast<std::uint8_t>(~kInService);
     if (tr_ != nullptr) {
-      const net::RingService svc = n.inst.group() == Group::MemRead
-                                       ? net::RingService::MemoryRead
-                                       : net::RingService::GppService;
+      const net::RingService svc =
+          static_cast<Group>(group_[u]) == Group::MemRead
+              ? net::RingService::MemoryRead
+              : net::RingService::GppService;
       tr_->record({now_, obs::TraceEventKind::ServiceComplete, node,
-                   phys(n.slot), static_cast<std::uint8_t>(svc), 0});
+                   phys_[u], static_cast<std::uint8_t>(svc), 0});
     }
     mark_fired(node);
     send_mesh(node);  // read data / call result to consumers
@@ -766,7 +965,7 @@ class Run {
       n.pass_through = true;
       n.route_to = target;
       std::int64_t idx = 0;
-      for (const SerialMessage& tok : n.buffered) {
+      for (const Token& tok : n.buffered) {
         send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
       }
       n.buffered.clear();
@@ -779,17 +978,19 @@ class Run {
   }
 
   // Back jump with TAIL in hand: replay the bundle to the loop head via
-  // the reverse network, resetting every node it passes.
+  // the reverse network, resetting every node it passes. The bundle is
+  // staged in the workspace scratch vector, so neither side of the swap
+  // ever re-allocates once warmed up.
   void flush_up(std::int32_t node) {
     NodeRt& n = nodes_[static_cast<std::size_t>(node)];
     const std::int32_t target = n.decided_target;
-    std::vector<SerialMessage> bundle = std::move(n.buffered);
-    n.buffered.clear();
+    flush_scratch_.clear();
+    flush_scratch_.swap(n.buffered);
     for (std::int32_t i = target; i <= node; ++i) {
-      nodes_[static_cast<std::size_t>(i)].reset_iteration();
+      reset_node(i);
     }
     std::int64_t idx = 0;
-    for (const SerialMessage& tok : bundle) {
+    for (const Token& tok : flush_scratch_) {
       send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
     }
   }
@@ -804,6 +1005,8 @@ class Run {
   const std::int64_t k_;
   const std::int64_t hop_;
   const std::int32_t idus_;
+  const bool use_calendar_;
+  const bool trace_;
   obs::MetricsRegistry* const mx_;  // null = telemetry disabled (no-op)
   obs::EventTracer* const tr_;
   // Workspace-backed storage: all references point into the engine's
@@ -814,8 +1017,25 @@ class Run {
 
   Placement placement_;
   std::vector<NodeRt>& nodes_;
+  // Struct-of-arrays hot lanes (same index space as nodes_).
+  std::vector<std::uint8_t>& state_;
+  std::vector<std::uint8_t>& group_;
+  std::vector<std::int32_t>& pop_need_;
+  std::vector<std::int32_t>& pops_;
+  std::vector<std::int32_t>& epoch_;
+  std::vector<std::int32_t>& phys_;
+  std::vector<std::int64_t>& head_tick_;
+  std::vector<std::int64_t>& tail_hold_;
   std::vector<char>& distinct_;
-  std::vector<Event>& events_;  // min-heap ordered by EventAfter
+  // Scheduler stores (heap_ for Heap; buckets_/overflow_ for Calendar).
+  std::vector<Event>& heap_;
+  std::vector<std::vector<Event>>& buckets_;
+  std::vector<Event>& overflow_;
+  std::vector<Token>& flush_scratch_;
+  std::int64_t bucket_count_ = 0;
+  std::int64_t bucket_mask_ = 0;
+  std::int64_t cal_cur_ = 0;     // calendar's current tick cursor
+  std::int64_t live_events_ = 0; // undrained events (buckets + overflow)
   std::int64_t seq_ = 0;
   std::int64_t now_ = 0;
   bool completed_ = false;
@@ -850,7 +1070,10 @@ void refresh_branch_kinds(detail::EngineWorkspace& ws, const Method& m) {
 Engine::Engine(MachineConfig config, EngineOptions options)
     : config_(std::move(config)),
       options_(options),
-      ws_(std::make_unique<detail::EngineWorkspace>()) {}
+      ws_(std::make_unique<detail::EngineWorkspace>()) {
+  // Resolve Auto (env lookup) once here, never on the per-run hot path.
+  options_.scheduler = resolve_scheduler(options_.scheduler);
+}
 
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;

@@ -27,7 +27,8 @@ class EventTracer;
 namespace javaflow::sim {
 
 namespace detail {
-// Heap allocations (event queue backing store, per-node runtime state
+// Heap allocations (event-queue backing stores for both schedulers, the
+// struct-of-arrays hot node state plus the cold per-node runtime state
 // including operand buffers, cached branch classifications) that
 // persist across an Engine's run() calls so repeated runs reuse
 // capacity instead of re-allocating. Defined in engine.cpp.
@@ -84,6 +85,11 @@ struct RunMetrics {
 struct EngineOptions {
   std::int64_t max_ticks = 4'000'000;
   bool trace = false;  // dump every event to stderr (debugging aid)
+  // Event-scheduler implementation (docs/PERF.md "Engine kernel"). Both
+  // kinds produce bit-identical results; Auto resolves via
+  // JAVAFLOW_SCHEDULER (default: the calendar queue) once at Engine
+  // construction. tests/test_scheduler.cpp asserts the equality.
+  SchedulerKind scheduler = SchedulerKind::Auto;
   // Failure injection: the node at this linear address raises an
   // arithmetic exception on its `inject_exception_fire`-th firing
   // (1-based). The node halts, an EXCEPTION_TOKEN travels to the GPP,

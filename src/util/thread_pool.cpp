@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 
 namespace javaflow::util {
 
@@ -77,6 +78,18 @@ unsigned ThreadPool::hardware_threads() noexcept {
 unsigned ThreadPool::resolve(int requested) noexcept {
   return requested >= 1 ? static_cast<unsigned>(requested)
                         : hardware_threads();
+}
+
+unsigned ThreadPool::resolve_clamped(int requested,
+                                     bool allow_oversubscribe) noexcept {
+  const unsigned n = resolve(requested);
+  const unsigned hw = hardware_threads();
+  if (allow_oversubscribe || n <= hw) return n;
+  std::fprintf(stderr,
+               "warning: clamping %u requested worker threads to the %u "
+               "hardware thread(s) on this host\n",
+               n, hw);
+  return hw;
 }
 
 void ThreadPool::worker_loop() {

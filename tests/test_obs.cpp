@@ -255,6 +255,9 @@ analysis::Sweep metrics_sweep(int threads) {
   analysis::SweepOptions options;
   options.stride = 97;
   options.threads = threads;
+  // Multi-lane merge coverage must survive the hardware-thread clamp on
+  // single-core CI hosts.
+  options.allow_oversubscribe = true;
   options.collect_metrics = true;
   return analysis::run_sweep(methods, corpus.program.pool, hot, options);
 }

@@ -33,6 +33,19 @@ TEST(ThreadPool, ResolveMapsRequestsToWorkerCounts) {
   EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
 }
 
+TEST(ThreadPool, ResolveClampedCapsAtHardwareThreads) {
+  const unsigned hw = util::ThreadPool::hardware_threads();
+  // Requests within the machine pass through untouched.
+  EXPECT_EQ(util::ThreadPool::resolve_clamped(1), 1u);
+  EXPECT_EQ(util::ThreadPool::resolve_clamped(0), hw);
+  EXPECT_EQ(util::ThreadPool::resolve_clamped(static_cast<int>(hw)), hw);
+  // Oversubscription clamps (with a stderr warning) unless allowed.
+  EXPECT_EQ(util::ThreadPool::resolve_clamped(static_cast<int>(hw) + 3), hw);
+  EXPECT_EQ(util::ThreadPool::resolve_clamped(static_cast<int>(hw) + 3,
+                                              /*allow_oversubscribe=*/true),
+            hw + 3);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   util::ThreadPool pool(4);
   EXPECT_EQ(pool.size(), 4u);
@@ -83,6 +96,10 @@ analysis::Sweep corpus_sweep(int threads, int stride) {
   analysis::SweepOptions options;
   options.stride = stride;
   options.threads = threads;
+  // Determinism coverage must exercise multiple lanes even on a
+  // single-hardware-thread CI host, where the clamp would fold every
+  // request back to one worker.
+  options.allow_oversubscribe = true;
   return analysis::run_sweep(methods, corpus.program.pool, hot, options);
 }
 

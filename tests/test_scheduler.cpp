@@ -1,0 +1,228 @@
+// Heap vs calendar scheduler equality (docs/PERF.md "Engine kernel").
+//
+// The calendar queue must reproduce the binary heap's strict (tick, seq)
+// event order exactly, so every RunMetrics field and every trace event
+// is bit-identical between the two schedulers — across the full Table 15
+// config matrix, both branch scenarios, the overflow-spill path (events
+// scheduled beyond the bucket horizon), and the max_ticks abort path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "analysis/figure_of_merit.hpp"
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "obs/event_tracer.hpp"
+#include "sim/engine.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+// ---- name / env resolution ----
+
+TEST(SchedulerConfig, NamesRoundTrip) {
+  using sim::SchedulerKind;
+  EXPECT_EQ(sim::scheduler_name(SchedulerKind::Heap), "heap");
+  EXPECT_EQ(sim::scheduler_name(SchedulerKind::Calendar), "calendar");
+  EXPECT_EQ(sim::scheduler_name(SchedulerKind::Auto), "auto");
+  EXPECT_EQ(sim::scheduler_from_name("heap"), SchedulerKind::Heap);
+  EXPECT_EQ(sim::scheduler_from_name("calendar"), SchedulerKind::Calendar);
+  EXPECT_EQ(sim::scheduler_from_name("auto"), SchedulerKind::Auto);
+  EXPECT_FALSE(sim::scheduler_from_name("fifo").has_value());
+  EXPECT_FALSE(sim::scheduler_from_name("").has_value());
+}
+
+TEST(SchedulerConfig, ResolveReadsEnvironmentWithCalendarDefault) {
+  using sim::SchedulerKind;
+  // Explicit kinds pass through untouched, whatever the env says.
+  ASSERT_EQ(setenv("JAVAFLOW_SCHEDULER", "heap", 1), 0);
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Calendar),
+            SchedulerKind::Calendar);
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Heap),
+            SchedulerKind::Heap);
+  // Auto follows the env...
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Auto),
+            SchedulerKind::Heap);
+  ASSERT_EQ(setenv("JAVAFLOW_SCHEDULER", "calendar", 1), 0);
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Auto),
+            SchedulerKind::Calendar);
+  // ...warns-and-defaults on garbage, and defaults when unset.
+  ASSERT_EQ(setenv("JAVAFLOW_SCHEDULER", "bogus", 1), 0);
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Auto),
+            SchedulerKind::Calendar);
+  ASSERT_EQ(unsetenv("JAVAFLOW_SCHEDULER"), 0);
+  EXPECT_EQ(sim::resolve_scheduler(SchedulerKind::Auto),
+            SchedulerKind::Calendar);
+}
+
+// ---- full-corpus golden equality ----
+
+analysis::Sweep scheduler_sweep(sim::SchedulerKind kind) {
+  static const workloads::Corpus corpus = workloads::make_corpus({});
+  std::vector<const bytecode::Method*> methods;
+  for (const bytecode::Method& m : corpus.program.methods) {
+    methods.push_back(&m);
+  }
+  std::vector<std::string> hot;
+  for (std::size_t i = 0; i < corpus.kernel_methods; ++i) {
+    hot.push_back(corpus.program.methods[i].name);
+  }
+  analysis::SweepOptions options;
+  options.stride = 32;  // the CI smoke stride: a real corpus slice
+  options.engine.scheduler = kind;
+  return analysis::run_sweep(methods, corpus.program.pool, hot, options);
+}
+
+TEST(SchedulerEquality, FullSweepIsBitIdenticalAcrossSchedulers) {
+  const analysis::Sweep heap = scheduler_sweep(sim::SchedulerKind::Heap);
+  const analysis::Sweep cal = scheduler_sweep(sim::SchedulerKind::Calendar);
+
+  EXPECT_EQ(heap.scheduler, "heap");
+  EXPECT_EQ(cal.scheduler, "calendar");
+  // All six Table 15 configs, both scenarios, every RunMetrics field.
+  ASSERT_EQ(heap.configs.size(), 6u);
+  ASSERT_GT(heap.samples.size(), 100u);
+  ASSERT_EQ(heap.samples.size(), cal.samples.size());
+  for (std::size_t i = 0; i < heap.samples.size(); ++i) {
+    ASSERT_EQ(heap.samples[i], cal.samples[i])
+        << "sample " << i << " (" << heap.samples[i].method << ", config "
+        << heap.samples[i].config_index << ")";
+  }
+}
+
+// ---- per-run trace equality ----
+
+// A loop over an array load: backward transfer, TAIL replay, memory
+// ordering, mesh traffic — the full §6.3 event mix.
+Program loop_program() {
+  Program p;
+  Assembler a(p, "sched.loop(IA)I", "sched");
+  a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.aload(1).iload(0).op(Op::iaload).istore(0);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+  return p;
+}
+
+struct TracedRun {
+  sim::RunMetrics metrics;
+  std::vector<obs::TraceEvent> events;
+  std::string chrome_json;
+};
+
+TracedRun traced_run(const sim::MachineConfig& cfg,
+                     sim::SchedulerKind kind, const Program& p,
+                     const fabric::DataflowGraph& graph,
+                     std::int64_t max_ticks = 4'000'000) {
+  sim::EngineOptions options;
+  options.scheduler = kind;
+  options.max_ticks = max_ticks;
+  obs::EventTracer tracer;
+  options.tracer = &tracer;
+  sim::Engine engine(cfg, options);
+  sim::BranchPredictor predictor(sim::BranchPredictor::Scenario::BP1);
+  TracedRun out;
+  out.metrics = engine.run(p.methods[0], graph, predictor);
+  out.events = tracer.events();
+  obs::TraceMeta meta;
+  meta.method = p.methods[0].name;
+  meta.config = cfg.name;
+  meta.scenario = "BP-1";
+  meta.serial_per_mesh = cfg.serial_per_mesh;
+  meta.node_labels.assign(p.methods[0].code.size(), "n");
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tracer, meta);
+  out.chrome_json = os.str();
+  return out;
+}
+
+TEST(SchedulerEquality, TraceJsonIsIdenticalOnEveryConfig) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const TracedRun heap =
+        traced_run(cfg, sim::SchedulerKind::Heap, p, graph);
+    const TracedRun cal =
+        traced_run(cfg, sim::SchedulerKind::Calendar, p, graph);
+    ASSERT_TRUE(heap.metrics.completed) << cfg.name;
+    EXPECT_EQ(heap.metrics, cal.metrics) << cfg.name;
+    ASSERT_FALSE(heap.events.empty()) << cfg.name;
+    EXPECT_EQ(heap.events, cal.events) << cfg.name;
+    EXPECT_EQ(heap.chrome_json, cal.chrome_json) << cfg.name;
+  }
+}
+
+// ---- overflow-spill edge cases ----
+
+TEST(SchedulerOverflow, EventsBeyondBucketHorizonStayOrdered) {
+  // Ring latencies far past the 4096-bucket ceiling force every
+  // MemoryRead ServiceDone (and the GPP exception path) through the
+  // calendar's overflow spill. The result must not change.
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  sim::MachineConfig cfg = sim::config_by_name("Compact2");
+  cfg.ring.memory_read = 100'000;
+  cfg.ring.gpp_service = 250'000;
+  const TracedRun heap = traced_run(cfg, sim::SchedulerKind::Heap, p, graph);
+  const TracedRun cal =
+      traced_run(cfg, sim::SchedulerKind::Calendar, p, graph);
+  ASSERT_TRUE(heap.metrics.completed);
+  // The slow ring really dominated the run — the spill path was taken.
+  ASSERT_GT(heap.metrics.ticks, 100'000);
+  EXPECT_EQ(heap.metrics, cal.metrics);
+  EXPECT_EQ(heap.events, cal.events);
+  EXPECT_EQ(heap.chrome_json, cal.chrome_json);
+}
+
+TEST(SchedulerOverflow, MaxTicksAbortPathIsIdentical) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const char* name : {"Baseline", "Compact10", "Compact2"}) {
+    const sim::MachineConfig cfg = sim::config_by_name(name);
+    const TracedRun heap = traced_run(cfg, sim::SchedulerKind::Heap, p,
+                                      graph, /*max_ticks=*/120);
+    const TracedRun cal = traced_run(cfg, sim::SchedulerKind::Calendar, p,
+                                     graph, /*max_ticks=*/120);
+    EXPECT_EQ(heap.metrics, cal.metrics) << name;
+    EXPECT_EQ(heap.metrics.timed_out, cal.metrics.timed_out) << name;
+    EXPECT_EQ(heap.events, cal.events) << name;
+  }
+}
+
+TEST(SchedulerOverflow, SlowRingAbortCombinesSpillAndTimeout) {
+  // Timeout while the only pending events sit in the overflow spill:
+  // the calendar must jump its cursor into the spill and abort at the
+  // same tick the heap does.
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  sim::MachineConfig cfg = sim::config_by_name("Compact2");
+  cfg.ring.memory_read = 100'000;
+  const TracedRun heap = traced_run(cfg, sim::SchedulerKind::Heap, p, graph,
+                                    /*max_ticks=*/50'000);
+  const TracedRun cal = traced_run(cfg, sim::SchedulerKind::Calendar, p,
+                                   graph, /*max_ticks=*/50'000);
+  EXPECT_TRUE(heap.metrics.timed_out);
+  EXPECT_EQ(heap.metrics, cal.metrics);
+  EXPECT_EQ(heap.events, cal.events);
+}
+
+}  // namespace
+}  // namespace javaflow
