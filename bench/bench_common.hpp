@@ -15,7 +15,17 @@
 //                                  bit-identical results (docs/PERF.md
 //                                  "Engine kernel").
 //   JAVAFLOW_SWEEP_HEARTBEAT=1     opt-in stderr progress heartbeat
-//                                  (methods/s + ETA) during sweeps.
+//                                  (methods/s + ETA, plus cache hit/miss/
+//                                  dedup cells when the cache is on).
+//   JAVAFLOW_BENCH_FILTER=<substr> sweep only methods whose qualified
+//                                  name contains <substr> (fast local
+//                                  iteration on one method); default all.
+//   JAVAFLOW_CACHE=<mode>          persistent result cache: off (default),
+//                                  read, readwrite, or verify
+//                                  (docs/PERF.md "Result cache").
+//   JAVAFLOW_CACHE_DIR=<dir>       cache directory; default
+//                                  $XDG_CACHE_HOME/javaflow or
+//                                  ~/.cache/javaflow.
 #pragma once
 
 #include <cstdio>
@@ -43,6 +53,21 @@ inline int env_threads() {
 
 inline bool env_heartbeat() {
   return util::env_flag("JAVAFLOW_SWEEP_HEARTBEAT");
+}
+
+inline std::string env_filter() {
+  return std::string(util::env_string("JAVAFLOW_BENCH_FILTER", ""));
+}
+
+// Applies every sweep-shaping env knob to `options` in one place so all
+// table/ablation binaries inherit new knobs for free. The result cache
+// itself needs no wiring here: SweepOptions::cache defaults to Auto,
+// which run_sweep resolves via JAVAFLOW_CACHE / JAVAFLOW_CACHE_DIR.
+inline void apply_env(analysis::SweepOptions& options) {
+  options.stride = env_stride();
+  options.threads = env_threads();
+  options.heartbeat = env_heartbeat();
+  options.method_filter = env_filter();
 }
 
 // ---- run metadata (BENCH_*.json provenance) ----
@@ -117,9 +142,7 @@ struct Context {
 
   analysis::Sweep run_sweep() const {
     analysis::SweepOptions options;
-    options.stride = env_stride();
-    options.threads = env_threads();
-    options.heartbeat = env_heartbeat();
+    apply_env(options);
     return analysis::run_sweep(all_methods(), corpus.program.pool,
                                hot_method_names(), options);
   }

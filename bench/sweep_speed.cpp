@@ -5,7 +5,10 @@
 //
 // Knobs (see docs/PERF.md): JAVAFLOW_BENCH_STRIDE subsamples the corpus
 // for smoke runs; JAVAFLOW_THREADS sizes the parallel leg (0 = one
-// worker per hardware thread).
+// worker per hardware thread); JAVAFLOW_BENCH_FILTER restricts the
+// corpus to matching method names; JAVAFLOW_CACHE / JAVAFLOW_CACHE_DIR
+// enable the persistent result cache (a warm cache makes both legs
+// serve from disk — the JSON's cache counters say which ran).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +30,8 @@ struct TimedSweep {
 
 TimedSweep timed_sweep(const javaflow::bench::Context& ctx, int threads) {
   javaflow::analysis::SweepOptions options;
-  options.stride = javaflow::bench::env_stride();
+  javaflow::bench::apply_env(options);
   options.threads = threads;
-  options.heartbeat = javaflow::bench::env_heartbeat();
   const auto t0 = Clock::now();
   TimedSweep out;
   out.sweep = javaflow::analysis::run_sweep(
@@ -71,6 +73,9 @@ int main() {
               rate(cells, parallel.seconds));
   std::printf("  speedup:  %.2fx on %u thread(s)\n", speedup, threads);
   std::printf("  scheduler: %s\n", serial.sweep.scheduler.c_str());
+  std::printf("  cache:    %s (%zu hit / %zu miss / %zu dedup cells)\n",
+              serial.sweep.cache.mode.c_str(), serial.sweep.cache.hit_cells,
+              serial.sweep.cache.miss_cells, serial.sweep.cache.dedup_cells);
   std::printf("  identical output: %s\n", identical ? "yes" : "NO");
 
   // Run metadata so BENCH_sweep.json files are comparable across PRs:
@@ -79,6 +84,12 @@ int main() {
   const char* threads_env = std::getenv("JAVAFLOW_THREADS");
   const char* stride_env = std::getenv("JAVAFLOW_BENCH_STRIDE");
   const char* scheduler_env = std::getenv("JAVAFLOW_SCHEDULER");
+  const char* cache_env = std::getenv("JAVAFLOW_CACHE");
+  const char* cache_dir_env = std::getenv("JAVAFLOW_CACHE_DIR");
+  const char* filter_env = std::getenv("JAVAFLOW_BENCH_FILTER");
+  const auto env_json = [](const char* v) {
+    return v ? "\"" + std::string(v) + "\"" : std::string("null");
+  };
 
   std::ofstream json("BENCH_sweep.json");
   json << "{\n"
@@ -89,17 +100,16 @@ int main() {
        << javaflow::bench::iso_timestamp_utc() << "\",\n"
        << "    \"hardware_threads\": "
        << std::thread::hardware_concurrency() << ",\n"
-       << "    \"env_javaflow_threads\": "
-       << (threads_env ? "\"" + std::string(threads_env) + "\""
-                       : std::string("null"))
+       << "    \"env_javaflow_threads\": " << env_json(threads_env)
        << ",\n"
-       << "    \"env_javaflow_bench_stride\": "
-       << (stride_env ? "\"" + std::string(stride_env) + "\""
-                      : std::string("null"))
+       << "    \"env_javaflow_bench_stride\": " << env_json(stride_env)
        << ",\n"
-       << "    \"env_javaflow_scheduler\": "
-       << (scheduler_env ? "\"" + std::string(scheduler_env) + "\""
-                         : std::string("null"))
+       << "    \"env_javaflow_scheduler\": " << env_json(scheduler_env)
+       << ",\n"
+       << "    \"env_javaflow_cache\": " << env_json(cache_env) << ",\n"
+       << "    \"env_javaflow_cache_dir\": " << env_json(cache_dir_env)
+       << ",\n"
+       << "    \"env_javaflow_bench_filter\": " << env_json(filter_env)
        << "\n  },\n"
        << "  \"scheduler\": \"" << serial.sweep.scheduler << "\",\n"
        << "  \"cells\": " << cells << ",\n"

@@ -7,6 +7,9 @@
 #include <memory>
 #include <unordered_set>
 
+#include <map>
+
+#include "cache/key.hpp"
 #include "fabric/dataflow_graph.hpp"
 #include "fabric/resolver.hpp"
 #include "util/thread_pool.hpp"
@@ -20,8 +23,12 @@ SweepProfile::Lane SweepProfile::total() const {
     t.resolve_s += l.resolve_s;
     t.place_s += l.place_s;
     t.execute_s += l.execute_s;
+    t.cache_s += l.cache_s;
     t.methods += l.methods;
     t.cells += l.cells;
+    t.cache_hit_cells += l.cache_hit_cells;
+    t.cache_miss_cells += l.cache_miss_cells;
+    t.dedup_cells += l.dedup_cells;
   }
   return t;
 }
@@ -55,18 +62,30 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   Sweep sweep;
   sweep.configs = options.configs.empty() ? sim::table15_configs()
                                           : options.configs;
-  sweep.scheduler =
-      std::string(sim::scheduler_name(
-          sim::resolve_scheduler(options.engine.scheduler)));
+  const sim::SchedulerKind resolved_scheduler =
+      sim::resolve_scheduler(options.engine.scheduler);
+  sweep.scheduler = std::string(sim::scheduler_name(resolved_scheduler));
   const std::unordered_set<std::string> hot(hot_methods.begin(),
                                             hot_methods.end());
 
+  // Method selection: the substring filter (fast local iteration on one
+  // method) applies before the stride, so filter + stride 1 sweeps
+  // exactly the matching methods and an empty filter reproduces the
+  // historical every-k-th-method picks bit for bit.
   const int stride = std::max(options.stride, 1);
   std::vector<std::size_t> picks;
   picks.reserve(methods.size() / static_cast<std::size_t>(stride) + 1);
-  for (std::size_t mi = 0; mi < methods.size();
-       mi += static_cast<std::size_t>(stride)) {
-    picks.push_back(mi);
+  std::size_t eligible = 0;
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+    if (!options.method_filter.empty() &&
+        methods[mi]->name.find(options.method_filter) ==
+            std::string::npos) {
+      continue;
+    }
+    if (eligible % static_cast<std::size_t>(stride) == 0) {
+      picks.push_back(mi);
+    }
+    ++eligible;
   }
 
   // Each selected method owns a fixed block of config-major cells, so
@@ -80,15 +99,91 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   // count.
   std::vector<LintReport> lint_reports(options.lint ? picks.size() : 0);
 
+  // ---- result cache + corpus dedup setup (docs/PERF.md) ----
+
+  // Telemetry hooks fire during execution only, so serving cached cells
+  // would silently under-count the registries/tracer: force the cache
+  // off for instrumented sweeps.
+  const bool instrumented = options.collect_metrics ||
+                            options.engine.metrics != nullptr ||
+                            options.engine.tracer != nullptr ||
+                            options.engine.trace;
+  cache::CacheMode mode = cache::resolve_cache_mode(options.cache);
+  if (instrumented && mode != cache::CacheMode::Off) {
+    std::fprintf(stderr,
+                 "javaflow-cache: telemetry enabled, disabling the result "
+                 "cache for this sweep\n");
+    mode = cache::CacheMode::Off;
+  }
+  std::optional<cache::CacheStore> store;
+  if (mode != cache::CacheMode::Off) {
+    store.emplace(cache::resolve_cache_dir(options.cache_dir));
+    sweep.cache.dir = store->dir();
+  }
+  sweep.cache.mode = std::string(cache::cache_mode_name(mode));
+
+  // Lint debug mode reports findings per picked method, so dedup (which
+  // skips duplicate picks entirely) would drop duplicates' findings —
+  // lint forces it off.
+  const bool dedup = options.dedup && !options.lint;
+
+  // Body digests drive both the cache keys and dedup grouping. Hashing
+  // the whole corpus is a few milliseconds — noise next to a single cell.
+  const bool keyed = store.has_value() || dedup;
+  std::vector<cache::Hash128> body_hash(keyed ? picks.size() : 0);
+  for (std::size_t pi = 0; pi < body_hash.size(); ++pi) {
+    body_hash[pi] = cache::hash_method_body(*methods[picks[pi]]);
+  }
+  cache::Hash128 pool_hash;
+  cache::Hash128 engine_hash;
+  std::vector<cache::Hash128> config_hash;
+  if (store.has_value()) {
+    pool_hash = cache::hash_pool(pool);
+    engine_hash =
+        cache::hash_engine_options(options.engine, resolved_scheduler);
+    config_hash.reserve(sweep.configs.size());
+    for (const sim::MachineConfig& cfg : sweep.configs) {
+      config_hash.push_back(cache::hash_config(cfg));
+    }
+  }
+
+  // Corpus dedup: the first pick with a given body digest is the
+  // leader and is the only one simulated; duplicates copy its cells in
+  // a serial post-pass below. `work` preserves pick order, so sample
+  // indexing stays deterministic for every thread count.
+  std::vector<std::size_t> leader_of(picks.size());
+  std::vector<std::size_t> work;
+  work.reserve(picks.size());
+  if (dedup) {
+    std::map<cache::Hash128, std::size_t> first_with_body;
+    for (std::size_t pi = 0; pi < picks.size(); ++pi) {
+      const auto [it, inserted] =
+          first_with_body.try_emplace(body_hash[pi], pi);
+      leader_of[pi] = it->second;
+      if (inserted) work.push_back(pi);
+    }
+  } else {
+    for (std::size_t pi = 0; pi < picks.size(); ++pi) {
+      leader_of[pi] = pi;
+      work.push_back(pi);
+    }
+  }
+
   // Everything a worker lane owns privately: engines (whose workspaces
   // amortize per-run allocations across the lane's methods), fabrics for
-  // the placement phase, a telemetry registry, and phase timers. Nothing
-  // here is touched by another thread while the sweep runs.
+  // the placement phase, a telemetry registry, cache scratch buffers,
+  // and phase timers. Nothing here is touched by another thread while
+  // the sweep runs.
   struct LaneState {
     std::vector<sim::Engine> engines;
     std::vector<fabric::Fabric> fabrics;
     obs::MetricsRegistry metrics;
     SweepProfile::Lane prof;
+    // Result-cache scratch, reused across the lane's methods.
+    cache::MethodRecord record;
+    std::vector<const cache::CellRecord*> cell_hits;
+    std::size_t stored_records = 0;
+    std::size_t verify_mismatch_cells = 0;
   };
 
   auto make_lane = [&] {
@@ -109,8 +204,14 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
 
   // Opt-in progress heartbeat: at most ~one stderr line a second (plus a
   // final one), claimed by whichever lane crosses the interval first.
+  // With dedup, the denominator is the deduplicated work list; with the
+  // cache on, the line also carries live hit/miss/dedup cell counts.
   std::atomic<std::size_t> methods_done{0};
   std::atomic<std::int64_t> last_beat_ms{0};
+  std::atomic<std::size_t> hb_hit_cells{0};
+  std::atomic<std::size_t> hb_miss_cells{0};
+  const std::size_t dedup_cells_planned =
+      (picks.size() - work.size()) * cells_per_method;
   auto heartbeat = [&] {
     if (!options.heartbeat) return;
     const std::size_t done = methods_done.fetch_add(1) + 1;
@@ -118,19 +219,31 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         std::chrono::duration<double>(Clock::now() - sweep_t0).count();
     const auto now_ms = static_cast<std::int64_t>(elapsed * 1000.0);
     std::int64_t last = last_beat_ms.load(std::memory_order_relaxed);
-    if (now_ms - last < 1000 && done != picks.size()) return;
+    if (now_ms - last < 1000 && done != work.size()) return;
     if (!last_beat_ms.compare_exchange_strong(last, now_ms)) return;
     const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
                                       : 0.0;
     const double eta =
-        rate > 0.0 ? static_cast<double>(picks.size() - done) / rate : 0.0;
-    std::fprintf(stderr,
-                 "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s)\n",
-                 done, picks.size(), rate, eta);
+        rate > 0.0 ? static_cast<double>(work.size() - done) / rate : 0.0;
+    if (mode != cache::CacheMode::Off) {
+      std::fprintf(stderr,
+                   "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s, "
+                   "cache %zu hit / %zu miss / %zu dedup cells)\n",
+                   done, work.size(), rate, eta,
+                   hb_hit_cells.load(std::memory_order_relaxed),
+                   hb_miss_cells.load(std::memory_order_relaxed),
+                   dedup_cells_planned);
+    } else {
+      std::fprintf(stderr,
+                   "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s)\n",
+                   done, work.size(), rate, eta);
+    }
   };
 
-  // One task per method: the dataflow graph and static counts are built
-  // once, placements are computed once per configuration, then every
+  // One task per (deduplicated) method. A full cache hit fills every
+  // cell from the record and skips resolve/place/execute entirely;
+  // otherwise the dataflow graph and static counts are built once,
+  // placements are computed once per configuration, then every
   // config × scenario cell runs on this lane's engines.
   const bool profile = options.profile;
   auto run_method = [&](std::size_t pi, LaneState& lane) {
@@ -143,6 +256,86 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     };
 
     const bytecode::Method& m = *methods[picks[pi]];
+    const bool is_hot = hot.contains(m.name);
+    SweepSample* out = sweep.samples.data() + pi * cells_per_method;
+
+    // ---- cache probe ----
+    bool have_record = false;
+    std::size_t cached_cells = 0;
+    if (store.has_value()) {
+      lane.cell_hits.assign(cells_per_method, nullptr);
+      have_record =
+          store->load(cache::record_key(body_hash[pi], pool_hash),
+                      cache::kEngineFingerprint, lane.record);
+      if (have_record) {
+        for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+          for (std::size_t si = 0; si < n_scenarios; ++si) {
+            const cache::Hash128 key = cache::cell_key(
+                body_hash[pi], pool_hash, config_hash[ci], engine_hash,
+                options.scenarios[si]);
+            for (const cache::CellRecord& cell : lane.record.cells) {
+              if (cell.key == key) {
+                lane.cell_hits[ci * n_scenarios + si] = &cell;
+                ++cached_cells;
+                break;
+              }
+            }
+          }
+        }
+      }
+      lap(lane.prof.cache_s);
+
+      // Full hit outside verify mode: serve every cell from the record.
+      // (Lint debug mode still builds and lints the graph + placements —
+      // it is a static check — but execution stays skipped.)
+      if (cached_cells == cells_per_method &&
+          mode != cache::CacheMode::Verify) {
+        if (options.lint) {
+          const fabric::DataflowGraph graph =
+              fabric::build_dataflow_graph(m, pool);
+          lap(lane.prof.resolve_s);
+          std::vector<fabric::Placement> placements;
+          placements.reserve(sweep.configs.size());
+          for (const fabric::Fabric& f : lane.fabrics) {
+            placements.push_back(fabric::load_method(f, m));
+          }
+          lap(lane.prof.place_s);
+          const bytecode::VerifyResult vr = bytecode::verify(m, pool);
+          lint_graph(m, pool, vr, graph, options.lint_options,
+                     lint_reports[pi]);
+          for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
+            lint_placement(m, lane.fabrics[ci], placements[ci], vr,
+                           options.lint_options, lint_reports[pi]);
+          }
+          lap(lane.prof.verify_s);
+        }
+        for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+          for (std::size_t si = 0; si < n_scenarios; ++si) {
+            const cache::CellRecord& cell =
+                *lane.cell_hits[ci * n_scenarios + si];
+            SweepSample& sample = out[ci * n_scenarios + si];
+            sample.method = m.name;
+            sample.benchmark = m.benchmark;
+            sample.config_index = ci;
+            sample.scenario = options.scenarios[si];
+            sample.static_insts = cell.static_insts;
+            sample.back_jumps = cell.back_jumps;
+            sample.is_hot = is_hot;
+            sample.metrics = cell.metrics;
+          }
+        }
+        lap(lane.prof.cache_s);
+        lane.prof.cache_hit_cells += cells_per_method;
+        hb_hit_cells.fetch_add(cells_per_method,
+                               std::memory_order_relaxed);
+        ++lane.prof.methods;
+        lane.prof.cells += cells_per_method;
+        heartbeat();
+        return;
+      }
+    }
+
+    // ---- compute path ----
     const fabric::DataflowGraph graph =
         fabric::build_dataflow_graph(m, pool);
     lap(lane.prof.resolve_s);
@@ -161,7 +354,6 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         ++back_jumps;
       }
     }
-    const bool is_hot = hot.contains(m.name);
     if (options.lint) {
       const bytecode::VerifyResult vr = bytecode::verify(m, pool);
       lint_graph(m, pool, vr, graph, options.lint_options,
@@ -173,7 +365,6 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     }
     lap(lane.prof.verify_s);
 
-    SweepSample* out = sweep.samples.data() + pi * cells_per_method;
     for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
       for (std::size_t si = 0; si < n_scenarios; ++si) {
         sim::BranchPredictor predictor(options.scenarios[si]);
@@ -190,6 +381,82 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       }
     }
     lap(lane.prof.execute_s);
+
+    // ---- verify / store ----
+    if (store.has_value()) {
+      bool verify_clean = true;
+      if (mode == cache::CacheMode::Verify) {
+        for (std::size_t idx = 0; idx < cells_per_method; ++idx) {
+          const cache::CellRecord* cell = lane.cell_hits[idx];
+          if (cell == nullptr) continue;
+          const SweepSample& fresh = out[idx];
+          if (cell->metrics != fresh.metrics ||
+              cell->static_insts != fresh.static_insts ||
+              cell->back_jumps != fresh.back_jumps) {
+            ++lane.verify_mismatch_cells;
+            verify_clean = false;
+            std::fprintf(
+                stderr,
+                "javaflow-cache: VERIFY MISMATCH %s [%s, scenario %d] — "
+                "cached record differs from fresh execution; repairing\n",
+                m.name.c_str(),
+                sweep.configs[idx / n_scenarios].name.c_str(),
+                static_cast<int>(options.scenarios[idx % n_scenarios]));
+          }
+        }
+        lane.prof.cache_hit_cells += cached_cells;
+        lane.prof.cache_miss_cells += cells_per_method - cached_cells;
+        hb_hit_cells.fetch_add(cached_cells, std::memory_order_relaxed);
+        hb_miss_cells.fetch_add(cells_per_method - cached_cells,
+                                std::memory_order_relaxed);
+      } else {
+        lane.prof.cache_miss_cells += cells_per_method;
+        hb_miss_cells.fetch_add(cells_per_method,
+                                std::memory_order_relaxed);
+      }
+
+      // Verify on an intact, fully cached method has nothing to write;
+      // skipping the save keeps repeated verify runs read-only.
+      const bool verify_dirty =
+          mode == cache::CacheMode::Verify &&
+          (!verify_clean || cached_cells != cells_per_method);
+      if (mode == cache::CacheMode::ReadWrite || verify_dirty) {
+        // Upsert this sweep's cells into the record, preserving cells
+        // other sweep contexts (configs, schedulers, tick budgets) put
+        // there. Verify mode repairs mismatching entries by the same
+        // path, since fresh values overwrite matching keys.
+        cache::MethodRecord next;
+        next.fingerprint = cache::kEngineFingerprint;
+        next.method_name = m.name;
+        if (have_record) next.cells = lane.record.cells;
+        for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+          for (std::size_t si = 0; si < n_scenarios; ++si) {
+            const SweepSample& fresh = out[ci * n_scenarios + si];
+            cache::CellRecord cell;
+            cell.key = cache::cell_key(body_hash[pi], pool_hash,
+                                       config_hash[ci], engine_hash,
+                                       options.scenarios[si]);
+            cell.static_insts = fresh.static_insts;
+            cell.back_jumps = fresh.back_jumps;
+            cell.metrics = fresh.metrics;
+            bool replaced = false;
+            for (cache::CellRecord& existing : next.cells) {
+              if (existing.key == cell.key) {
+                existing = cell;
+                replaced = true;
+                break;
+              }
+            }
+            if (!replaced) next.cells.push_back(cell);
+          }
+        }
+        if (store->save(cache::record_key(body_hash[pi], pool_hash),
+                        next)) {
+          ++lane.stored_records;
+        }
+      }
+      lap(lane.prof.cache_s);
+    }
     ++lane.prof.methods;
     lane.prof.cells += cells_per_method;
     heartbeat();
@@ -198,9 +465,9 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   const unsigned threads = util::ThreadPool::resolve_clamped(
       options.threads, options.allow_oversubscribe);
   std::vector<std::unique_ptr<LaneState>> lanes;
-  if (threads <= 1 || picks.size() <= 1) {
+  if (threads <= 1 || work.size() <= 1) {
     lanes.push_back(make_lane());
-    for (std::size_t pi = 0; pi < picks.size(); ++pi) {
+    for (const std::size_t pi : work) {
       run_method(pi, *lanes[0]);
     }
   } else {
@@ -209,9 +476,9 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     // scratch workspace), and engines persist across the lane's methods
     // so allocation reuse still pays off.
     lanes.resize(workers.size());
-    workers.parallel_for(picks.size(), [&](std::size_t pi, unsigned lane) {
+    workers.parallel_for(work.size(), [&](std::size_t wi, unsigned lane) {
       if (lanes[lane] == nullptr) lanes[lane] = make_lane();
-      run_method(pi, *lanes[lane]);
+      run_method(work[wi], *lanes[lane]);
     });
   }
 
@@ -221,8 +488,36 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       continue;
     }
     sweep.profile.lanes.push_back(lane->prof);
+    sweep.cache.stored_records += lane->stored_records;
+    sweep.cache.verify_mismatch_cells += lane->verify_mismatch_cells;
     if (options.collect_metrics) sweep.metrics.merge(lane->metrics);
   }
+
+  // Dedup fill: duplicates copy their leader's cells and re-stamp the
+  // name-dependent sample fields. Serial, in pick order — the output is
+  // byte-identical to simulating every duplicate.
+  for (std::size_t pi = 0; pi < picks.size(); ++pi) {
+    if (leader_of[pi] == pi) continue;
+    const bytecode::Method& m = *methods[picks[pi]];
+    const bool is_hot = hot.contains(m.name);
+    const std::size_t src = leader_of[pi] * cells_per_method;
+    const std::size_t dst = pi * cells_per_method;
+    for (std::size_t c = 0; c < cells_per_method; ++c) {
+      SweepSample& sample = sweep.samples[dst + c];
+      sample = sweep.samples[src + c];
+      sample.method = m.name;
+      sample.benchmark = m.benchmark;
+      sample.is_hot = is_hot;
+    }
+    sweep.profile.lanes[0].dedup_cells += cells_per_method;
+    sweep.profile.lanes[0].cells += cells_per_method;
+  }
+
+  const SweepProfile::Lane lane_total = sweep.profile.total();
+  sweep.cache.hit_cells = lane_total.cache_hit_cells;
+  sweep.cache.miss_cells = lane_total.cache_miss_cells;
+  sweep.cache.dedup_cells = lane_total.dedup_cells;
+
   sweep.profile.wall_s =
       std::chrono::duration<double>(Clock::now() - sweep_t0).count();
 

@@ -11,6 +11,7 @@
 #include "analysis/lint.hpp"
 #include "analysis/stats.hpp"
 #include "bytecode/method.hpp"
+#include "cache/store.hpp"
 #include "obs/metrics.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -52,8 +53,20 @@ struct SweepProfile {
     double resolve_s = 0.0;  // dataflow-graph construction
     double place_s = 0.0;    // per-config fabric placement
     double execute_s = 0.0;  // engine runs (all config x scenario cells)
+    double cache_s = 0.0;    // result-cache probe/fill/store time
     std::size_t methods = 0;
     std::size_t cells = 0;
+    // Result-cache counters (docs/PERF.md "Result cache"). Cell-granular
+    // and, summed over lanes, identical for every thread count:
+    //   cache_hit_cells  — served from a cached record, execution skipped
+    //                      (verify mode: record present and compared);
+    //   cache_miss_cells — executed because no usable record existed;
+    //   dedup_cells      — copied from a byte-identical method's cells
+    //                      within this sweep (always on lane 0: the
+    //                      dedup fill is a serial post-pass).
+    std::size_t cache_hit_cells = 0;
+    std::size_t cache_miss_cells = 0;
+    std::size_t dedup_cells = 0;
   };
   std::vector<Lane> lanes;  // index = worker lane; serial sweeps use [0]
   double wall_s = 0.0;      // whole-sweep wall clock
@@ -96,6 +109,28 @@ struct SweepOptions {
   // thread count, like the samples.
   bool lint = false;
   LintOptions lint_options;
+  // Persistent content-addressed result cache (docs/PERF.md "Result
+  // cache"). Auto resolves JAVAFLOW_CACHE (unset = Off, the pre-cache
+  // behaviour). Hits skip verify/resolve/place/execute for the whole
+  // method and fill its samples from the cached record; the output stays
+  // deterministically indexed and thread-count-invariant either way.
+  // Telemetry runs (collect_metrics, engine.metrics/tracer/trace) force
+  // the cache off for the sweep — cached cells fire no hooks, so served
+  // results would under-count the registries.
+  cache::CacheMode cache = cache::CacheMode::Auto;
+  // Cache directory; empty resolves JAVAFLOW_CACHE_DIR, then
+  // $XDG_CACHE_HOME/javaflow, then ~/.cache/javaflow.
+  std::string cache_dir;
+  // In-memory corpus dedup: byte-identical method bodies within one
+  // sweep simulate once per (config, scenario) and share results (the
+  // engine reads the method name only as a workspace-cache tag, so the
+  // shared metrics are exact, not approximate). Name-dependent sample
+  // fields (method, benchmark, is_hot) are still filled per method.
+  bool dedup = true;
+  // Substring filter over qualified method names ("" = all). Applied
+  // before the stride, so `method_filter` + stride 1 sweeps exactly the
+  // matching methods. Env knob: JAVAFLOW_BENCH_FILTER (bench_common.hpp).
+  std::string method_filter;
 };
 
 struct Sweep {
@@ -115,6 +150,21 @@ struct Sweep {
   // Aggregated telemetry (SweepOptions::collect_metrics, default off);
   // identical for every thread count.
   obs::MetricsRegistry metrics;
+  // Result-cache outcome for this sweep (docs/PERF.md "Result cache").
+  // Counters are cell-granular and thread-count-invariant.
+  struct CacheStats {
+    std::string mode;  // resolved mode the sweep actually ran with
+    std::string dir;   // resolved directory ("" when mode == "off")
+    std::size_t hit_cells = 0;
+    std::size_t miss_cells = 0;
+    std::size_t dedup_cells = 0;
+    std::size_t stored_records = 0;
+    // Verify mode only: cells whose cached record differed from a fresh
+    // execution. Always 0 for a healthy cache; mismatching records are
+    // repaired in place and warned about on stderr.
+    std::size_t verify_mismatch_cells = 0;
+  };
+  CacheStats cache;
 };
 
 // Runs the full sweep. `hot_methods` marks Filter 2 membership (by

@@ -117,8 +117,11 @@ void write_profile_lane(std::ostream& os, const SweepProfile::Lane& lane) {
      << ",\"resolve_s\":" << lane.resolve_s
      << ",\"place_s\":" << lane.place_s
      << ",\"execute_s\":" << lane.execute_s
+     << ",\"cache_s\":" << lane.cache_s
      << ",\"methods\":" << lane.methods << ",\"cells\":" << lane.cells
-     << "}";
+     << ",\"cache_hit_cells\":" << lane.cache_hit_cells
+     << ",\"cache_miss_cells\":" << lane.cache_miss_cells
+     << ",\"dedup_cells\":" << lane.dedup_cells << "}";
 }
 
 }  // namespace
@@ -153,6 +156,18 @@ void write_sweep_json(std::ostream& os, const Sweep& sweep, int indent) {
        << "}" << (ci + 1 < sweep.configs.size() ? "," : "") << "\n";
   }
   os << in1 << "],\n";
+
+  // Result-cache outcome (docs/PERF.md "Result cache"). The counters are
+  // cell-granular and thread-count-invariant; the dir is omitted because
+  // it is host-local noise for cross-run comparison.
+  os << in1 << "\"cache\": {"
+     << "\"mode\": \"" << json_escape(sweep.cache.mode) << "\""
+     << ", \"hit_cells\": " << sweep.cache.hit_cells
+     << ", \"miss_cells\": " << sweep.cache.miss_cells
+     << ", \"dedup_cells\": " << sweep.cache.dedup_cells
+     << ", \"stored_records\": " << sweep.cache.stored_records
+     << ", \"verify_mismatch_cells\": " << sweep.cache.verify_mismatch_cells
+     << "},\n";
 
   const SweepProfile::Lane total = sweep.profile.total();
   os << in1 << "\"profile\": {\n"

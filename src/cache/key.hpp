@@ -1,0 +1,69 @@
+// Cache-key derivation for the content-addressed sweep result cache
+// (docs/PERF.md "Result cache").
+//
+// A sweep cell — one (method, MachineConfig, scenario) simulation — is
+// keyed by a 128-bit digest of everything its RunMetrics can depend on:
+//
+//   * the canonical method body bytes (code, switch tables, signature —
+//     NOT the name or benchmark tag, which are reporting metadata);
+//   * a digest of the whole ConstantPool (graph construction and ring
+//     traffic read pool entries, including interpreter-resolved slots);
+//   * the canonical MachineConfig text (sim::MachineConfig::canonical_text);
+//   * the branch scenario and the resolved event scheduler;
+//   * the engine-options fields that alter results (tick budget,
+//     exception injection);
+//   * kEngineFingerprint, bumped by hand whenever simulation semantics
+//     change (event ordering, Table 17 costs, network timing, …).
+//
+// Records are grouped one file per method: the file is addressed by
+// (method body, pool) only, so every config/scenario/scheduler variant
+// of a method shares one record and a warm full-corpus sweep pays one
+// file read per method instead of twelve.
+#pragma once
+
+#include <cstdint>
+
+#include "bytecode/method.hpp"
+#include "cache/hash.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow::cache {
+
+// Bump whenever a change anywhere in the simulator can alter RunMetrics
+// for an unchanged (method, pool, config, scenario, scheduler) tuple:
+// engine event semantics, Table 17 execution costs, network transit
+// rules, placement policy, dataflow-graph construction. Every record
+// carries the fingerprint it was produced under; a mismatch is a miss
+// (and `javaflow_cache prune` deletes the stale files).
+inline constexpr std::uint32_t kEngineFingerprint = 1;
+
+// Digest of the simulation-relevant method body. Two methods with equal
+// body digests produce identical RunMetrics in every cell (the engine
+// reads the name only as a workspace-cache tag), which is what corpus
+// dedup relies on.
+Hash128 hash_method_body(const bytecode::Method& m);
+
+// Digest of the full constant pool (all entries, all payload fields).
+// Conservative: any pool change invalidates every method's records.
+Hash128 hash_pool(const bytecode::ConstantPool& pool);
+
+// Digest of a machine configuration via its canonical text.
+Hash128 hash_config(const sim::MachineConfig& config);
+
+// Digest of the EngineOptions fields that can change results, plus the
+// *resolved* scheduler (callers resolve Auto before keying).
+Hash128 hash_engine_options(const sim::EngineOptions& options,
+                            sim::SchedulerKind resolved_scheduler);
+
+// Address of a method's record file: (body, pool) only — see above.
+Hash128 record_key(const Hash128& method_body, const Hash128& pool);
+
+// Full per-cell key: everything listed in the header comment.
+Hash128 cell_key(const Hash128& method_body, const Hash128& pool,
+                 const Hash128& config, const Hash128& engine_options,
+                 sim::BranchPredictor::Scenario scenario,
+                 std::uint32_t engine_fingerprint = kEngineFingerprint);
+
+}  // namespace javaflow::cache

@@ -1,0 +1,211 @@
+#include "cache/record.hpp"
+
+#include <cstring>
+
+namespace javaflow::cache {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x3143464a;  // "JFC1", little-endian
+
+// All integers are encoded little-endian at fixed width, independent of
+// the host, so a cache directory survives a toolchain change (it still
+// will not survive kRecordFormatVersion or fingerprint bumps — by
+// design).
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+  void i32(std::int32_t v) { fixed(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+ private:
+  template <typename T>
+  void fixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string& out_;
+};
+
+// Bounds-checked cursor: every read can fail, and the first failure
+// poisons the reader so callers can check once at the end of a section.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(fixed<1>()); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(fixed<4>()); }
+  std::uint64_t u64() { return fixed<8>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(bytes_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  template <std::size_t N>
+  std::uint64_t fixed() {
+    if (!ok_ || bytes_.size() - pos_ < N) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += N;
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// RunMetrics is serialized field by field. If you add a field to
+// RunMetrics, extend BOTH functions below and bump kRecordFormatVersion
+// — tests/test_cache.cpp's round-trip test catches a mismatch between
+// the two, and the version bump invalidates old files.
+void write_metrics(Writer& w, const sim::RunMetrics& m) {
+  w.boolean(m.fits);
+  w.boolean(m.completed);
+  w.boolean(m.timed_out);
+  w.boolean(m.exception);
+  w.i64(m.ticks);
+  w.i64(m.mesh_cycles);
+  w.i64(m.instructions_fired);
+  w.i32(m.distinct_fired);
+  w.i32(m.static_size);
+  w.i32(m.max_slot);
+  w.i64(m.mesh_messages);
+  w.i64(m.serial_messages);
+  w.i64(m.ticks_exec_1plus);
+  w.i64(m.ticks_exec_2plus);
+}
+
+sim::RunMetrics read_metrics(Reader& r) {
+  sim::RunMetrics m;
+  m.fits = r.boolean();
+  m.completed = r.boolean();
+  m.timed_out = r.boolean();
+  m.exception = r.boolean();
+  m.ticks = r.i64();
+  m.mesh_cycles = r.i64();
+  m.instructions_fired = r.i64();
+  m.distinct_fired = r.i32();
+  m.static_size = r.i32();
+  m.max_slot = r.i32();
+  m.mesh_messages = r.i64();
+  m.serial_messages = r.i64();
+  m.ticks_exec_1plus = r.i64();
+  m.ticks_exec_2plus = r.i64();
+  return m;
+}
+
+std::uint64_t checksum(std::string_view bytes) {
+  Hasher h;
+  h.bytes(bytes.data(), bytes.size());
+  return h.digest().hi;
+}
+
+bool deserialize_impl(std::string_view bytes, bool check_fingerprint,
+                      std::uint32_t expected_fingerprint,
+                      MethodRecord& out) {
+  // Trailer first: an 8-byte checksum over everything before it. Any
+  // flipped/missing byte anywhere in the file fails here.
+  if (bytes.size() < 8) return false;
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  Reader trailer(bytes.substr(bytes.size() - 8));
+  if (trailer.u64() != checksum(body)) return false;
+
+  Reader r(body);
+  if (r.u32() != kMagic) return false;
+  if (r.u32() != kRecordFormatVersion) return false;
+  MethodRecord rec;
+  rec.fingerprint = r.u32();
+  if (!r.ok()) return false;
+  if (check_fingerprint && rec.fingerprint != expected_fingerprint) {
+    return false;
+  }
+  rec.method_name = r.str();
+  const std::uint32_t count = r.u32();
+  if (!r.ok()) return false;
+  // A cell entry is at least 16 (key) + 8 + metrics bytes; reject counts
+  // the remaining bytes cannot possibly hold before reserving.
+  if (count > body.size() / 24) return false;
+  rec.cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CellRecord cell;
+    cell.key.hi = r.u64();
+    cell.key.lo = r.u64();
+    cell.static_insts = r.i32();
+    cell.back_jumps = r.i32();
+    cell.metrics = read_metrics(r);
+    if (!r.ok()) return false;
+    rec.cells.push_back(cell);
+  }
+  // Trailing garbage between the last cell and the checksum is an
+  // anomaly too.
+  if (r.pos() != body.size()) return false;
+  out = std::move(rec);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_record(const MethodRecord& record) {
+  std::string out;
+  Writer w(out);
+  w.u32(kMagic);
+  w.u32(kRecordFormatVersion);
+  w.u32(record.fingerprint);
+  w.str(record.method_name);
+  w.u32(static_cast<std::uint32_t>(record.cells.size()));
+  for (const CellRecord& cell : record.cells) {
+    w.u64(cell.key.hi);
+    w.u64(cell.key.lo);
+    w.i32(cell.static_insts);
+    w.i32(cell.back_jumps);
+    write_metrics(w, cell.metrics);
+  }
+  w.u64(checksum(out));
+  return out;
+}
+
+bool deserialize_record(std::string_view bytes,
+                        std::uint32_t expected_fingerprint,
+                        MethodRecord& out) {
+  return deserialize_impl(bytes, /*check_fingerprint=*/true,
+                          expected_fingerprint, out);
+}
+
+bool deserialize_record_any_fingerprint(std::string_view bytes,
+                                        MethodRecord& out) {
+  return deserialize_impl(bytes, /*check_fingerprint=*/false, 0, out);
+}
+
+}  // namespace javaflow::cache

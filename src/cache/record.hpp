@@ -1,0 +1,62 @@
+// Versioned binary record format for the sweep result cache
+// (docs/PERF.md "Result cache").
+//
+// One record file holds every cached cell of one method (same body, same
+// pool): each cell entry carries its full 128-bit cell key plus the
+// simulation outputs. The file is self-validating — magic, format
+// version, engine fingerprint, and a trailing FNV-64 checksum over
+// everything before it — and the deserializer treats ANY anomaly
+// (truncation, zero length, bad magic, stale fingerprint, checksum or
+// bounds failure) as "no record": a cache read can degrade to a miss but
+// never to a crash or a wrong result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/hash.hpp"
+#include "sim/engine.hpp"
+
+namespace javaflow::cache {
+
+// Current on-disk format version. Bump on any layout change; old files
+// then deserialize to "no record" and are rewritten on the next store.
+inline constexpr std::uint32_t kRecordFormatVersion = 1;
+
+// One cached sweep cell: the full cell key (cache/key.hpp) and every
+// output `run_sweep` would otherwise have to recompute for the sample.
+struct CellRecord {
+  Hash128 key;
+  std::int32_t static_insts = 0;
+  std::int32_t back_jumps = 0;
+  sim::RunMetrics metrics;
+
+  bool operator==(const CellRecord&) const = default;
+};
+
+struct MethodRecord {
+  std::uint32_t fingerprint = 0;  // cache/key.hpp kEngineFingerprint
+  std::string method_name;        // informational (CLI stats/invalidate)
+  std::vector<CellRecord> cells;
+
+  bool operator==(const MethodRecord&) const = default;
+};
+
+// Serializes to the canonical byte layout. Byte-stable: equal records
+// always produce identical bytes (asserted by tests/test_cache.cpp).
+std::string serialize_record(const MethodRecord& record);
+
+// Parses `bytes`; returns false (leaving `out` unspecified) on any
+// anomaly, including a fingerprint different from `expected_fingerprint`.
+bool deserialize_record(std::string_view bytes,
+                        std::uint32_t expected_fingerprint,
+                        MethodRecord& out);
+
+// Like above but ignores the fingerprint check (maintenance walks that
+// want to *count* stale records). Still validates everything else.
+bool deserialize_record_any_fingerprint(std::string_view bytes,
+                                        MethodRecord& out);
+
+}  // namespace javaflow::cache

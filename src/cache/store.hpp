@@ -1,0 +1,101 @@
+// Persistent filesystem store for the sweep result cache
+// (docs/PERF.md "Result cache").
+//
+// Layout: <dir>/v1/<first-2-hex>/<32-hex>.jfc — one record file per
+// (method body, pool) digest, sharded over 256 subdirectories. Writes go
+// through a temp file + rename, so readers never observe a half-written
+// record; a torn or corrupted file deserializes to "no record" (a miss).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cache/record.hpp"
+
+namespace javaflow::cache {
+
+// How a sweep uses the cache (SweepOptions::cache / JAVAFLOW_CACHE):
+//   Auto       — resolve via JAVAFLOW_CACHE; unset means Off.
+//   Off        — no cache at all (the pre-cache behaviour, the default).
+//   Read       — consume hits, never write.
+//   ReadWrite  — consume hits, store misses.
+//   Verify     — re-execute every cell and assert cached records match
+//                bit-exactly; mismatches are counted, reported, and
+//                repaired in place. Results always come from the fresh
+//                execution.
+enum class CacheMode : std::uint8_t { Auto, Off, Read, ReadWrite, Verify };
+
+std::string_view cache_mode_name(CacheMode m) noexcept;
+
+// Parses "off" / "read" / "readwrite" / "verify" (also "auto").
+std::optional<CacheMode> cache_mode_from_name(std::string_view name) noexcept;
+
+// Auto -> JAVAFLOW_CACHE (stderr warning on unknown values, falling back
+// to Off); anything else passes through.
+CacheMode resolve_cache_mode(CacheMode requested) noexcept;
+
+// Directory resolution: `requested` if non-empty, else JAVAFLOW_CACHE_DIR,
+// else $XDG_CACHE_HOME/javaflow, else $HOME/.cache/javaflow, else
+// ./.javaflow-cache as a last resort.
+std::string resolve_cache_dir(const std::string& requested);
+
+class CacheStore {
+ public:
+  explicit CacheStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  // Absolute path of the record file for `key`.
+  std::string path_for(const Hash128& key) const;
+
+  // Loads and validates the record for `key`. False on missing file,
+  // unreadable file, or any record anomaly (including a fingerprint
+  // other than `fingerprint`) — all of which are plain misses.
+  bool load(const Hash128& key, std::uint32_t fingerprint,
+            MethodRecord& out) const;
+
+  // Atomically writes the record for `key` (temp file + rename),
+  // creating directories as needed. False on any filesystem error —
+  // a cache store failure must never fail the sweep.
+  bool save(const Hash128& key, const MethodRecord& record) const;
+
+  // Removes the record for `key` if present.
+  bool remove(const Hash128& key) const;
+
+  // ---- maintenance walks (tools/javaflow_cache) ----
+
+  struct WalkEntry {
+    std::string path;
+    std::uintmax_t bytes = 0;
+    bool valid = false;    // parsed and checksummed OK
+    bool current = false;  // valid && fingerprint == the walk's
+    MethodRecord record;   // populated when valid
+  };
+
+  // Visits every *.jfc file under the store in sorted path order.
+  void walk(std::uint32_t fingerprint,
+            const std::function<void(const WalkEntry&)>& visit) const;
+
+  struct Stats {
+    std::uintmax_t files = 0;
+    std::uintmax_t bytes = 0;
+    std::uintmax_t cells = 0;        // across current records
+    std::uintmax_t stale_files = 0;  // valid, wrong fingerprint
+    std::uintmax_t corrupt_files = 0;
+  };
+  Stats stats(std::uint32_t fingerprint) const;
+
+  // Deletes stale-fingerprint and corrupt files; returns removed count.
+  std::uintmax_t prune(std::uint32_t fingerprint) const;
+
+  // Deletes records whose stored method name contains `method_substr`
+  // (empty = every record, plus corrupt files); returns removed count.
+  std::uintmax_t invalidate(const std::string& method_substr) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace javaflow::cache

@@ -40,6 +40,31 @@ SchedulerKind resolve_scheduler(SchedulerKind requested) noexcept {
   return *k;
 }
 
+std::string MachineConfig::canonical_text() const {
+  // The name is deliberately included: named Table 15 configs are
+  // distinct rows in every report, so a renamed-but-identical config
+  // re-simulating once is cheaper than ever conflating two rows.
+  std::string out = "cfgv1";
+  auto field = [&out](const char* key, long long v) {
+    out += '|';
+    out += key;
+    out += '=';
+    out += std::to_string(v);
+  };
+  out += "|name=";
+  out += name;
+  field("layout", static_cast<long long>(layout));
+  field("serial_per_mesh", serial_per_mesh);
+  field("width", width);
+  field("capacity", capacity);
+  field("idus_per_node", idus_per_node);
+  field("ring_memory_read", ring.memory_read);
+  field("ring_memory_write", ring.memory_write);
+  field("ring_constant_read", ring.constant_read);
+  field("ring_gpp_service", ring.gpp_service);
+  return out;
+}
+
 std::vector<MachineConfig> table15_configs() {
   using fabric::LayoutKind;
   auto make = [](const char* name, LayoutKind layout, int serial_per_mesh) {

@@ -57,6 +57,13 @@ struct MachineConfig {
   fabric::FabricOptions fabric_options() const {
     return fabric::FabricOptions{layout, width, capacity, ring};
   }
+
+  // Versioned, stable, field-complete textual form — the input to the
+  // result cache's configuration digest (src/cache/key.hpp). Two configs
+  // with equal canonical text simulate identically; any field that can
+  // change simulation results MUST appear here (and the leading version
+  // tag must be bumped when the encoding changes shape).
+  std::string canonical_text() const;
 };
 
 // The six Table 15 configurations, in paper order:

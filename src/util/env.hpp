@@ -51,4 +51,14 @@ inline bool env_flag(const char* name) noexcept {
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 
+// Reads a free-form string variable. Unset (or set empty) -> fallback.
+// No validation beyond non-emptiness: callers that accept only an
+// enumerated set (e.g. JAVAFLOW_CACHE) parse and warn themselves.
+inline std::string_view env_string(const char* name,
+                                   std::string_view fallback) noexcept {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  return text;
+}
+
 }  // namespace javaflow::util

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over a committed throughput history.
+
+Usage: bench_gate.py BENCH_sweep.json bench/BENCH_history.json [--no-append]
+
+Replaces the old hardcoded 4,000 cells/s constant (docs/PERF.md "CI
+regression gate"): the floor is now derived from the committed history —
+80% of the median serial cells/s over the most recent five entries.
+The median rides out one-off runner jitter in either direction; the 20%
+margin absorbs steady-state variance between runners.
+
+Checks, in order:
+  1. the run's `identical` flag is true (parallel == serial output);
+  2. if the run used the result cache, hit+dedup cells must not cover the
+     whole sweep — a fully cache-served run measures file reads, not the
+     engine, and must not enter the history;
+  3. serial_cells_per_second >= 0.8 * median(last <= 5 history entries).
+
+On success the run is appended to the history file (up to a cap of 50
+entries, oldest dropped) so the floor tracks intentional throughput
+changes without hand-editing a constant. Commit the updated history when
+a PR intentionally shifts performance. --no-append gates without
+recording (e.g. exploratory local runs).
+
+Exit codes: 0 pass, 1 regression/divergence, 2 usage or malformed input.
+"""
+
+import json
+import statistics
+import sys
+
+HISTORY_WINDOW = 5
+HISTORY_CAP = 50
+FLOOR_FRACTION = 0.8
+
+
+def fail(message: str) -> None:
+    print(f"bench_gate: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--no-append"]
+    append = "--no-append" not in argv[1:]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    bench_path, history_path = args
+    try:
+        with open(bench_path) as f:
+            bench = json.load(f)
+        with open(history_path) as f:
+            history = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: {e}", file=sys.stderr)
+        return 2
+    if not isinstance(history, list) or not history:
+        print(f"bench_gate: {history_path} must be a non-empty JSON list",
+              file=sys.stderr)
+        return 2
+
+    if not bench.get("identical", False):
+        fail("parallel sweep diverged from serial (identical=false)")
+
+    cache = bench.get("report", {}).get("cache", {})
+    served = cache.get("hit_cells", 0) + cache.get("dedup_cells", 0)
+    cells = bench.get("cells", 0)
+    if cells and served >= cells:
+        fail(
+            f"run was fully cache-served ({served}/{cells} cells) — "
+            "throughput measures the cache, not the engine; gate with "
+            "JAVAFLOW_CACHE=off or a cold cache dir"
+        )
+
+    got = bench["serial_cells_per_second"]
+    window = [e["serial_cells_per_second"] for e in history[-HISTORY_WINDOW:]]
+    floor = FLOOR_FRACTION * statistics.median(window)
+    print(
+        f"bench_gate: serial {got:.1f} cells/s, floor {floor:.1f} "
+        f"(median of last {len(window)} of {len(history)} entries, "
+        f"scheduler {bench.get('scheduler', '?')})"
+    )
+    if got < floor:
+        fail(f"serial sweep regressed: {got:.1f} < {floor:.1f} cells/s")
+
+    if append:
+        meta = bench.get("metadata", {})
+        history.append(
+            {
+                "git_sha": meta.get("git_sha", "unknown"),
+                "timestamp_utc": meta.get("timestamp_utc", "unknown"),
+                "stride": bench.get("stride", 0),
+                "scheduler": bench.get("scheduler", "unknown"),
+                "serial_cells_per_second": got,
+                "parallel_cells_per_second": bench.get(
+                    "parallel_cells_per_second", 0.0
+                ),
+            }
+        )
+        history = history[-HISTORY_CAP:]
+        with open(history_path, "w") as f:
+            json.dump(history, f, indent=2)
+            f.write("\n")
+        print(f"bench_gate: appended run to {history_path} "
+              f"({len(history)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
