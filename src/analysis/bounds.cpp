@@ -1,0 +1,357 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bytecode/verifier.hpp"
+#include "util/thread_pool.hpp"
+
+namespace javaflow::analysis {
+namespace {
+
+using bytecode::Group;
+using bytecode::Instruction;
+using bytecode::Method;
+using bytecode::Op;
+using fabric::Edge;
+
+bool is_switch(Op op) {
+  return op == Op::tableswitch || op == Op::lookupswitch;
+}
+
+// Mirrors the engine's buffers_tokens: the node classes that hold the
+// serial token bundle until they fire (§6.3).
+bool buffers_tokens(const Instruction& inst) {
+  const Group g = inst.group();
+  return g == Group::ControlFlow || g == Group::Return || is_switch(inst.op);
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  if (a >= kNoBound || b >= kNoBound) return kNoBound;
+  const std::int64_t s = a + b;
+  return s >= kNoBound ? kNoBound : s;
+}
+
+// The branch arms of a buffering node: every linear address the bundle
+// can be redirected to when it fires. Return/athrow terminate — no arms.
+void branch_arms(const Method& m, std::int32_t v,
+                 std::vector<std::int32_t>& out) {
+  out.clear();
+  const Instruction& inst = m.code[static_cast<std::size_t>(v)];
+  if (is_switch(inst.op)) {
+    const auto& table = m.switches[static_cast<std::size_t>(inst.operand)];
+    out.insert(out.end(), table.targets.begin(), table.targets.end());
+    out.push_back(table.default_target);
+  } else if (inst.group() == Group::ControlFlow) {
+    out.push_back(inst.target);
+    if (inst.op != Op::goto_ && inst.op != Op::goto_w) {
+      out.push_back(v + 1);  // conditional fall-through
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+// Extra latency between "execution done" and the produced value leaving
+// on the mesh: MemRead values return from the ring, Call/Special results
+// come back from the GPP. Everything else sends at execution-done.
+std::int64_t produce_extra(const Instruction& inst, std::int64_t k,
+                           const net::RingLatencies& rl) {
+  switch (inst.group()) {
+    case Group::MemRead:
+      return k * rl.memory_read;
+    case Group::Call:
+      return k * rl.gpp_service;
+    case Group::Special:
+      return is_switch(inst.op) ? 0 : k * rl.gpp_service;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::int32_t MethodBounds::token_hi_at_phys(std::int32_t phys) const noexcept {
+  std::int32_t hi = 0;
+  for (const TokenBufferBound& b : token_buffers) {
+    if (b.phys == phys) hi = std::max(hi, b.hi);
+  }
+  return hi;
+}
+
+MethodBounds compute_bounds(const bytecode::Method& m,
+                            const fabric::DataflowGraph& graph,
+                            const fabric::Fabric& fabric,
+                            const fabric::Placement& placement,
+                            const sim::MachineConfig& config) {
+  MethodBounds out;
+  const std::size_t n = m.code.size();
+  if (!placement.fits || n == 0) return out;
+
+  const std::int64_t k = config.serial_per_mesh;
+  const std::int64_t hop = config.collapsed() ? 0 : 1;
+  const std::int32_t idus = std::max(config.idus_per_node, 1);
+  const net::RingLatencies& rl = config.ring;
+
+  std::vector<std::int32_t> phys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    phys[i] = placement.slot(static_cast<std::int32_t>(i)) / idus;
+  }
+  // Minimum serial transit between two placed nodes; mirrors
+  // Engine::serial_delay (one tick per physical hop, floor 1, free when
+  // collapsed).
+  auto serial_delay = [&](std::int32_t from, std::int32_t to) {
+    const std::int32_t a = phys[static_cast<std::size_t>(from)];
+    const std::int32_t b = phys[static_cast<std::size_t>(to)];
+    return hop * std::max<std::int64_t>(a < b ? b - a : a - b, 1);
+  };
+
+  out.nodes.assign(n, NodeTiming{});
+
+  // ---- timing: min-plus fixpoint -----------------------------------------
+  //
+  // head(v) under-approximates the earliest tick HEAD can reach v:
+  //   * the anchor injects it (extra 0) — head(entry) = hop * (phys+1);
+  //   * non-buffering nodes forward HEAD the tick it arrives;
+  //   * a buffering node releases it no earlier than its own execution
+  //     completes (forward flush resolves at exec-done; a backward flush
+  //     happens even later, when TAIL catches up), so every arm t gets
+  //     head(t) >= done(v) + serial transit.
+  // fire(v) additionally waits for every operand side: the value of the
+  // *cheapest* forward producer plus its mesh transit (back edges never
+  // deliver — Engine::send_mesh skips them — so a side fed only by back
+  // edges can never be satisfied and the node never fires: kNoBound).
+  // done(v) pays the Table 17 execution cost.
+  //
+  // Backward arms make the relaxation graph cyclic; iterating to a
+  // fixpoint terminates because tick values only ever decrease, are
+  // bounded below by 0, and the relaxation is monotone over a finite
+  // set of integer-valued unknowns (docs/ANALYSIS.md "Termination").
+  out.nodes[0].head = hop * (phys[0] + 1);
+
+  std::vector<std::int32_t> arms;
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed && rounds < n + 2) {
+    changed = false;
+    ++rounds;
+    for (std::size_t v = 0; v < n; ++v) {
+      NodeTiming& t = out.nodes[v];
+      if (t.head >= kNoBound) continue;
+      const Instruction& inst = m.code[v];
+
+      std::int64_t fire = t.head;
+      for (std::uint8_t side = 1; side <= inst.pop; ++side) {
+        std::int64_t best = kNoBound;
+        for (const Edge& e :
+             graph.producers_of(static_cast<std::int32_t>(v), side)) {
+          if (e.back) continue;
+          const auto p = static_cast<std::size_t>(e.producer);
+          const std::int64_t ready = sat_add(
+              sat_add(out.nodes[p].done,
+                      produce_extra(m.code[p], k, rl)),
+              k * fabric.mesh_cycles(phys[p],
+                                     phys[static_cast<std::size_t>(v)]));
+          best = std::min(best, ready);
+        }
+        fire = std::max(fire, best);
+      }
+      const std::int64_t done = sat_add(
+          fire, k * bytecode::execution_mesh_cycles(inst.group()));
+      if (fire < t.fire || done < t.done) {
+        t.fire = std::min(t.fire, fire);
+        t.done = std::min(t.done, done);
+        changed = true;
+      }
+
+      // Propagate HEAD.
+      auto relax_head = [&](std::int32_t to, std::int64_t tick) {
+        if (to < 0 || static_cast<std::size_t>(to) >= n) return;
+        NodeTiming& dst = out.nodes[static_cast<std::size_t>(to)];
+        if (tick < dst.head) {
+          dst.head = tick;
+          changed = true;
+        }
+      };
+      if (!buffers_tokens(inst)) {
+        relax_head(static_cast<std::int32_t>(v) + 1,
+                   sat_add(t.head,
+                           v + 1 < n
+                               ? serial_delay(static_cast<std::int32_t>(v),
+                                              static_cast<std::int32_t>(v) + 1)
+                               : 0));
+      } else if (t.done < kNoBound) {
+        branch_arms(m, static_cast<std::int32_t>(v), arms);
+        for (std::int32_t to : arms) {
+          if (to < 0 || static_cast<std::size_t>(to) >= n) continue;
+          relax_head(to, sat_add(t.done,
+                                 serial_delay(static_cast<std::int32_t>(v),
+                                              to)));
+        }
+      }
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (m.code[v].group() == Group::Return) {
+      out.lower_bound_ticks =
+          std::min(out.lower_bound_ticks, out.nodes[v].done);
+    }
+  }
+
+  // ---- resources ---------------------------------------------------------
+  out.operand_hi.assign(n, 0);
+  out.forward_fanout.assign(n, 0);
+  for (const Edge& e : graph.edges) {
+    if (e.back) continue;
+    ++out.operand_hi[static_cast<std::size_t>(e.consumer)];
+    ++out.forward_fanout[static_cast<std::size_t>(e.producer)];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out.max_forward_fanout =
+        std::max(out.max_forward_fanout, out.forward_fanout[v]);
+  }
+
+  // Token-bundle buffering at control nodes. The bundle carries HEAD +
+  // MEMORY + TAIL (3) plus max_locals register tokens; each LocalWrite
+  // can additionally put one transient duplicate register token in
+  // flight (fresh value emitted while the stale token is still
+  // traveling to its kill site — docs/ANALYSIS.md "Token conservation").
+  const std::int32_t writers = static_cast<std::int32_t>(
+      std::count_if(m.code.begin(), m.code.end(), [](const Instruction& i) {
+        return i.group() == Group::LocalWrite;
+      }));
+  const std::int32_t bundle_hi = 3 + m.max_locals + writers;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!buffers_tokens(m.code[v])) continue;
+    TokenBufferBound b;
+    b.node = static_cast<std::int32_t>(v);
+    b.phys = phys[v];
+    if (out.nodes[v].head < kNoBound) {
+      // HEAD is provably buffered while the node holds; a firing Return
+      // has provably buffered TAIL as well (fire_ready demands it).
+      b.lo = m.code[v].group() == Group::Return &&
+                     out.nodes[v].fire < kNoBound
+                 ? 2
+                 : 1;
+    }
+    b.hi = bundle_hi;
+    out.token_buffers.push_back(b);
+  }
+
+  out.valid = true;
+  return out;
+}
+
+void lint_bounds(const bytecode::Method& m, const sim::MachineConfig& config,
+                 const MethodBounds& bounds, const LintOptions& options,
+                 LintReport& out) {
+  if (!bounds.valid) return;
+  const std::size_t n = m.code.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bounds.nodes[v].head >= kNoBound) continue;  // unreachable
+    const std::int32_t need = m.code[v].pop;
+    const std::int32_t hi = bounds.operand_hi[v];
+    if (need > options.node_buffer_capacity) {
+      std::ostringstream os;
+      os << "node provably buffers " << need
+         << " operands at firing; capacity is "
+         << options.node_buffer_capacity << " (" << config.name << ')';
+      out.add(LintRule::BufferBoundOverflow, m.name,
+              static_cast<std::int32_t>(v), -1, os.str());
+    } else if (options.warnings && hi > options.node_buffer_capacity) {
+      std::ostringstream os;
+      os << "up to " << hi
+         << " operand values may arrive before firing; capacity "
+         << options.node_buffer_capacity
+         << " — overflow possible but not proven (" << config.name << ')';
+      out.add(LintRule::BoundUnproven, m.name, static_cast<std::int32_t>(v),
+              -1, os.str());
+    }
+  }
+}
+
+void check_metrics_against_bounds(const std::string& method_name,
+                                  std::string_view config_name,
+                                  std::string_view scenario_name,
+                                  const sim::RunMetrics& metrics,
+                                  const obs::MetricsRegistry* registry,
+                                  const MethodBounds& bounds,
+                                  LintReport& out) {
+  if (!bounds.valid || !metrics.fits || !metrics.completed ||
+      metrics.timed_out || metrics.exception) {
+    return;
+  }
+  auto tag = [&](std::ostringstream& os) {
+    os << " [" << config_name << '/' << scenario_name << ']';
+  };
+  if (bounds.lower_bound_ticks >= kNoBound) {
+    std::ostringstream os;
+    os << "engine completed in " << metrics.ticks
+       << " ticks but the analyzer proves no Return is reachable";
+    tag(os);
+    out.add(LintRule::BoundViolation, method_name, -1, -1, os.str());
+  } else if (metrics.ticks < bounds.lower_bound_ticks) {
+    std::ostringstream os;
+    os << "measured " << metrics.ticks
+       << " ticks beats the static critical-path lower bound "
+       << bounds.lower_bound_ticks;
+    tag(os);
+    out.add(LintRule::BoundViolation, method_name, -1, -1, os.str());
+  }
+  if (registry == nullptr) return;
+  const auto& hwm = registry->buffer_hwm_by_node;
+  for (std::size_t p = 0; p < hwm.size(); ++p) {
+    if (hwm[p] == 0) continue;
+    const std::int32_t limit =
+        bounds.token_hi_at_phys(static_cast<std::int32_t>(p));
+    if (static_cast<std::int64_t>(hwm[p]) > limit) {
+      std::ostringstream os;
+      os << "buffer high-water mark " << hwm[p] << " at physical node " << p
+         << " exceeds the static token-buffer bound " << limit;
+      tag(os);
+      out.add(LintRule::BoundViolation, method_name, -1,
+              static_cast<std::int32_t>(p), os.str());
+    }
+  }
+}
+
+LintReport bounds_corpus(const bytecode::Program& program,
+                         const std::vector<sim::MachineConfig>& configs,
+                         const LintOptions& options, int threads) {
+  const std::size_t n = program.methods.size();
+  std::vector<LintReport> per_method(n);
+
+  auto work = [&](std::size_t mi) {
+    const bytecode::Method& m = program.methods[mi];
+    LintReport& rep = per_method[mi];
+    const bytecode::VerifyResult vr = bytecode::verify(m, program.pool);
+    if (!vr.ok) return;  // lint_corpus reports these as JF-E003
+    const fabric::DataflowGraph graph =
+        fabric::build_dataflow_graph(m, program.pool);
+    for (const sim::MachineConfig& config : configs) {
+      const fabric::Fabric fab(config.fabric_options());
+      const fabric::Placement placement = fabric::load_method(fab, m);
+      if (!placement.fits) continue;  // lint_placement reports JF-E007
+      const MethodBounds bounds =
+          compute_bounds(m, graph, fab, placement, config);
+      lint_bounds(m, config, bounds, options, rep);
+      ++rep.placements_linted;
+    }
+    ++rep.methods_linted;
+  };
+
+  const unsigned workers = util::ThreadPool::resolve(threads);
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) work(i);
+  } else {
+    util::ThreadPool pool(workers);
+    pool.parallel_for(n, [&](std::size_t mi, unsigned) { work(mi); });
+  }
+
+  LintReport report;
+  for (LintReport& r : per_method) report.merge(std::move(r));
+  return report;
+}
+
+}  // namespace javaflow::analysis

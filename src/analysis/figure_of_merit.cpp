@@ -9,12 +9,26 @@
 
 #include <map>
 
+#include "analysis/bounds.hpp"
 #include "cache/key.hpp"
 #include "fabric/dataflow_graph.hpp"
 #include "fabric/resolver.hpp"
 #include "util/thread_pool.hpp"
 
 namespace javaflow::analysis {
+
+namespace {
+
+std::string_view sweep_scenario_name(sim::BranchPredictor::Scenario s) {
+  switch (s) {
+    case sim::BranchPredictor::Scenario::BP1: return "BP1";
+    case sim::BranchPredictor::Scenario::BP2: return "BP2";
+    case sim::BranchPredictor::Scenario::Trace: return "Trace";
+  }
+  return "?";
+}
+
+}  // namespace
 
 SweepProfile::Lane SweepProfile::total() const {
   Lane t;
@@ -94,10 +108,11 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   const std::size_t cells_per_method = sweep.configs.size() * n_scenarios;
   sweep.samples.resize(picks.size() * cells_per_method);
 
-  // Lint debug mode: per-method reports fill pre-sized slots so the
-  // flattened finding order matches the serial sweep for any thread
-  // count.
-  std::vector<LintReport> lint_reports(options.lint ? picks.size() : 0);
+  // Lint / bounds debug modes: per-method reports fill pre-sized slots
+  // so the flattened finding order matches the serial sweep for any
+  // thread count.
+  std::vector<LintReport> lint_reports(
+      options.lint || options.check_bounds ? picks.size() : 0);
 
   // ---- result cache + corpus dedup setup (docs/PERF.md) ----
 
@@ -122,10 +137,11 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   }
   sweep.cache.mode = std::string(cache::cache_mode_name(mode));
 
-  // Lint debug mode reports findings per picked method, so dedup (which
-  // skips duplicate picks entirely) would drop duplicates' findings —
-  // lint forces it off.
-  const bool dedup = options.dedup && !options.lint;
+  // Lint / bounds debug modes report findings per picked method, so
+  // dedup (which skips duplicate picks entirely) would drop duplicates'
+  // findings — both force it off.
+  const bool dedup =
+      options.dedup && !options.lint && !options.check_bounds;
 
   // Body digests drive both the cache keys and dedup grouping. Hashing
   // the whole corpus is a few milliseconds — noise next to a single cell.
@@ -178,6 +194,12 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     std::vector<sim::Engine> engines;
     std::vector<fabric::Fabric> fabrics;
     obs::MetricsRegistry metrics;
+    // check_bounds scratch: the lane's engines write each run's counters
+    // here so the per-run buffer high-water marks can be checked against
+    // the static bound; reset before every run. When collect_metrics is
+    // also on, each run's counters are merged into `metrics` afterwards
+    // (the merge is commutative, so the aggregate is unchanged).
+    obs::MetricsRegistry bounds_reg;
     SweepProfile::Lane prof;
     // Result-cache scratch, reused across the lane's methods.
     cache::MethodRecord record;
@@ -192,6 +214,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     lane->engines.reserve(sweep.configs.size());
     sim::EngineOptions engine_options = options.engine;
     if (options.collect_metrics) engine_options.metrics = &lane->metrics;
+    if (options.check_bounds) engine_options.metrics = &lane->bounds_reg;
     for (const sim::MachineConfig& cfg : sweep.configs) {
       lane->fabrics.emplace_back(cfg.fabric_options());
       lane->engines.emplace_back(cfg, engine_options);
@@ -266,7 +289,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       lane.cell_hits.assign(cells_per_method, nullptr);
       have_record =
           store->load(cache::record_key(body_hash[pi], pool_hash),
-                      cache::kEngineFingerprint, lane.record);
+                      cache::record_fingerprint(), lane.record);
       if (have_record) {
         for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
           for (std::size_t si = 0; si < n_scenarios; ++si) {
@@ -286,11 +309,12 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       lap(lane.prof.cache_s);
 
       // Full hit outside verify mode: serve every cell from the record.
-      // (Lint debug mode still builds and lints the graph + placements —
-      // it is a static check — but execution stays skipped.)
+      // (Lint and bounds debug modes still build the graph + placements —
+      // they are static checks — but execution stays skipped; bounds can
+      // then only assert the ticks direction, since no registry ran.)
       if (cached_cells == cells_per_method &&
           mode != cache::CacheMode::Verify) {
-        if (options.lint) {
+        if (options.lint || options.check_bounds) {
           const fabric::DataflowGraph graph =
               fabric::build_dataflow_graph(m, pool);
           lap(lane.prof.resolve_s);
@@ -300,12 +324,28 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
             placements.push_back(fabric::load_method(f, m));
           }
           lap(lane.prof.place_s);
-          const bytecode::VerifyResult vr = bytecode::verify(m, pool);
-          lint_graph(m, pool, vr, graph, options.lint_options,
-                     lint_reports[pi]);
-          for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
-            lint_placement(m, lane.fabrics[ci], placements[ci], vr,
-                           options.lint_options, lint_reports[pi]);
+          if (options.lint) {
+            const bytecode::VerifyResult vr = bytecode::verify(m, pool);
+            lint_graph(m, pool, vr, graph, options.lint_options,
+                       lint_reports[pi]);
+            for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
+              lint_placement(m, lane.fabrics[ci], placements[ci], vr,
+                             options.lint_options, lint_reports[pi]);
+            }
+          }
+          if (options.check_bounds) {
+            for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+              const MethodBounds bounds =
+                  compute_bounds(m, graph, lane.fabrics[ci],
+                                 placements[ci], sweep.configs[ci]);
+              for (std::size_t si = 0; si < n_scenarios; ++si) {
+                check_metrics_against_bounds(
+                    m.name, sweep.configs[ci].name,
+                    sweep_scenario_name(options.scenarios[si]),
+                    lane.cell_hits[ci * n_scenarios + si]->metrics,
+                    nullptr, bounds, lint_reports[pi]);
+              }
+            }
           }
           lap(lane.prof.verify_s);
         }
@@ -363,6 +403,14 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
                        options.lint_options, lint_reports[pi]);
       }
     }
+    std::vector<MethodBounds> bounds;
+    if (options.check_bounds) {
+      bounds.reserve(sweep.configs.size());
+      for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+        bounds.push_back(compute_bounds(m, graph, lane.fabrics[ci],
+                                        placements[ci], sweep.configs[ci]));
+      }
+    }
     lap(lane.prof.verify_s);
 
     for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
@@ -376,8 +424,16 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         sample.static_insts = static_cast<std::int32_t>(m.code.size());
         sample.back_jumps = back_jumps;
         sample.is_hot = is_hot;
+        if (options.check_bounds) lane.bounds_reg = obs::MetricsRegistry{};
         sample.metrics =
             lane.engines[ci].run(m, graph, placements[ci], predictor);
+        if (options.check_bounds) {
+          check_metrics_against_bounds(
+              m.name, sweep.configs[ci].name,
+              sweep_scenario_name(options.scenarios[si]), sample.metrics,
+              &lane.bounds_reg, bounds[ci], lint_reports[pi]);
+          if (options.collect_metrics) lane.metrics.merge(lane.bounds_reg);
+        }
       }
     }
     lap(lane.prof.execute_s);
@@ -426,7 +482,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         // there. Verify mode repairs mismatching entries by the same
         // path, since fresh values overwrite matching keys.
         cache::MethodRecord next;
-        next.fingerprint = cache::kEngineFingerprint;
+        next.fingerprint = cache::record_fingerprint();
         next.method_name = m.name;
         if (have_record) next.cells = lane.record.cells;
         for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {

@@ -109,6 +109,14 @@ struct SweepOptions {
   // thread count, like the samples.
   bool lint = false;
   LintOptions lint_options;
+  // Cross-validation mode (docs/ANALYSIS.md): statically compute timing
+  // and resource bounds for every method × config and assert them
+  // against what actually happens — `static lower bound <= ticks` and
+  // `buffer HWM <= static token bound` on every executed cell, the ticks
+  // bound alone on cache-served cells (no registry runs there).
+  // Violations land in Sweep::lint_findings as JF-E010, deterministic
+  // and thread-count-invariant like the lint findings.
+  bool check_bounds = false;
   // Persistent content-addressed result cache (docs/PERF.md "Result
   // cache"). Auto resolves JAVAFLOW_CACHE (unset = Off, the pre-cache
   // behaviour). Hits skip verify/resolve/place/execute for the whole
@@ -141,7 +149,7 @@ struct Sweep {
   // bit-identical; see tests/test_scheduler.cpp).
   std::string scheduler;
   std::vector<SweepSample> samples;
-  // Populated only when SweepOptions::lint is set.
+  // Populated when SweepOptions::lint and/or check_bounds is set.
   std::vector<LintFinding> lint_findings;
   std::int32_t lint_errors = 0;
   std::int32_t lint_warnings = 0;

@@ -19,21 +19,8 @@ using bytecode::OpInfo;
 using bytecode::ValueType;
 using fabric::DataflowGraph;
 using fabric::Edge;
-
-ValueType type_from_sig_char(char c) noexcept {
-  switch (c) {
-    case 'I': return ValueType::Int;
-    case 'J': return ValueType::Long;
-    case 'F': return ValueType::Float;
-    case 'D': return ValueType::Double;
-    case 'A': return ValueType::Ref;
-    default: return ValueType::Void;
-  }
-}
-
-bool is_typed_sig_char(char c) noexcept {
-  return c == 'I' || c == 'J' || c == 'F' || c == 'D' || c == 'A';
-}
+using bytecode::is_typed_sig_char;
+using bytecode::type_from_sig_char;
 
 std::string_view node_type_name(bytecode::NodeType t) noexcept {
   switch (t) {
@@ -123,6 +110,10 @@ std::string_view lint_rule_id(LintRule r) noexcept {
     case LintRule::UnplacedNode: return "JF-E007";
     case LintRule::BackEdge: return "JF-W101";
     case LintRule::UnreachableCode: return "JF-W102";
+    case LintRule::BufferBoundOverflow: return "JF-E008";
+    case LintRule::TokenDeadlock: return "JF-E009";
+    case LintRule::BoundViolation: return "JF-E010";
+    case LintRule::BoundUnproven: return "JF-W103";
   }
   return "JF-????";
 }
@@ -138,6 +129,10 @@ std::string_view lint_rule_name(LintRule r) noexcept {
     case LintRule::UnplacedNode: return "unplaced-node";
     case LintRule::BackEdge: return "back-edge";
     case LintRule::UnreachableCode: return "unreachable-code";
+    case LintRule::BufferBoundOverflow: return "bound-overflow";
+    case LintRule::TokenDeadlock: return "token-deadlock";
+    case LintRule::BoundViolation: return "bound-violation";
+    case LintRule::BoundUnproven: return "bound-unproven";
   }
   return "?";
 }
@@ -146,6 +141,7 @@ LintSeverity lint_rule_severity(LintRule r) noexcept {
   switch (r) {
     case LintRule::BackEdge:
     case LintRule::UnreachableCode:
+    case LintRule::BoundUnproven:
       return LintSeverity::Warning;
     default:
       return LintSeverity::Error;
@@ -552,6 +548,52 @@ LintReport lint_corpus(const bytecode::Program& program,
   return report;
 }
 
+namespace {
+
+// Every rule in stable id order, for per-rule summary counts.
+constexpr LintRule kAllRules[] = {
+    LintRule::DanglingEdge,      LintRule::InconsistentEdge,
+    LintRule::OperandMismatch,   LintRule::UntokenizedCycle,
+    LintRule::CapacityOverflow,  LintRule::FanoutOverflow,
+    LintRule::UnplacedNode,      LintRule::BufferBoundOverflow,
+    LintRule::TokenDeadlock,     LintRule::BoundViolation,
+    LintRule::BackEdge,          LintRule::UnreachableCode,
+    LintRule::BoundUnproven,
+};
+
+std::vector<std::pair<LintRule, std::size_t>> rule_counts(
+    const LintReport& report) {
+  std::vector<std::pair<LintRule, std::size_t>> counts;
+  for (LintRule r : kAllRules) {
+    const auto n = static_cast<std::size_t>(
+        std::count_if(report.findings.begin(), report.findings.end(),
+                      [r](const LintFinding& f) { return f.rule == r; }));
+    if (n > 0) counts.emplace_back(r, n);
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::string to_summary(const LintReport& report) {
+  std::ostringstream os;
+  os << report.methods_linted << " methods, " << report.placements_linted
+     << " placements: " << report.errors << " errors, " << report.warnings
+     << " warnings";
+  const auto counts = rule_counts(report);
+  if (!counts.empty()) {
+    os << " [";
+    bool first = true;
+    for (const auto& [rule, n] : counts) {
+      if (!first) os << ", ";
+      first = false;
+      os << lint_rule_id(rule) << " x" << n;
+    }
+    os << ']';
+  }
+  return os.str();
+}
+
 std::string to_text(const LintReport& report) {
   std::ostringstream os;
   for (const LintFinding& f : report.findings) {
@@ -561,9 +603,7 @@ std::string to_text(const LintReport& report) {
     if (f.slot >= 0) os << " slot " << f.slot;
     os << ": " << f.message << '\n';
   }
-  os << report.methods_linted << " methods, " << report.placements_linted
-     << " placements: " << report.errors << " errors, " << report.warnings
-     << " warnings\n";
+  os << to_summary(report) << '\n';
   return os.str();
 }
 
@@ -587,6 +627,31 @@ std::string to_json(const LintReport& report) {
     os << "\"}";
   }
   os << "]}";
+  return os.str();
+}
+
+std::string to_json(const LintReport& report,
+                    const std::vector<sim::MachineConfig>& configs) {
+  std::string base = to_json(report);
+  // Splice the self-describing fields in front of the closing brace.
+  std::ostringstream os;
+  os << base.substr(0, base.size() - 1) << ",\"configs\":[";
+  bool first = true;
+  for (const sim::MachineConfig& c : configs) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    json_escape(os, c.canonical_text());
+    os << '"';
+  }
+  os << "],\"rules\":{";
+  first = true;
+  for (const auto& [rule, n] : rule_counts(report)) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << lint_rule_id(rule) << "\":" << n;
+  }
+  os << "}}";
   return os.str();
 }
 

@@ -23,6 +23,17 @@
 //                                     type-compatible fabric slot
 //   JF-W101 back-edge           §5.4  valid Java yields no back merges
 //   JF-W102 unreachable-code    §3.6  dead instructions waste fabric slots
+//
+// PR 7 adds the bound/model-check rules (see docs/ANALYSIS.md):
+//
+//   JF-E008 bound-overflow      §2.1  a node provably needs more operand
+//                                     buffering than one node provides
+//   JF-E009 token-deadlock      §6.3  the abstract token-flow model
+//                                     checker found a reachable stuck state
+//   JF-E010 bound-violation     §6.1  measured engine metrics contradict a
+//                                     proven static bound (cross-check)
+//   JF-W103 bound-unproven      §2.1  static upper bound exceeds capacity
+//                                     (possible overflow, not proven)
 #pragma once
 
 #include <cstdint>
@@ -49,9 +60,13 @@ enum class LintRule : std::uint8_t {
   UntokenizedCycle,  // JF-E004
   CapacityOverflow,  // JF-E005
   FanoutOverflow,    // JF-E006
-  UnplacedNode,      // JF-E007
-  BackEdge,          // JF-W101
-  UnreachableCode,   // JF-W102
+  UnplacedNode,        // JF-E007
+  BackEdge,            // JF-W101
+  UnreachableCode,     // JF-W102
+  BufferBoundOverflow, // JF-E008
+  TokenDeadlock,       // JF-E009
+  BoundViolation,      // JF-E010
+  BoundUnproven,       // JF-W103
 };
 
 std::string_view lint_rule_id(LintRule r) noexcept;    // "JF-E001"
@@ -144,7 +159,14 @@ LintReport lint_corpus(const bytecode::Program& program,
 
 // One finding per line: "error JF-E001 [dangling-edge] Method @pc: ...".
 std::string to_text(const LintReport& report);
+// The trailing line of to_text: totals plus per-rule finding counts in
+// rule-id order ("... 2 errors, 1 warning [JF-E001 x2, JF-W102 x1]").
+std::string to_summary(const LintReport& report);
 // Machine-readable: {"errors":N,"warnings":N,"findings":[{...},...]}.
 std::string to_json(const LintReport& report);
+// Same, plus a "configs" array of MachineConfig::canonical_text() strings
+// and a "rules" per-rule count object, so reports are self-describing.
+std::string to_json(const LintReport& report,
+                    const std::vector<sim::MachineConfig>& configs);
 
 }  // namespace javaflow::analysis

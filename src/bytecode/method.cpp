@@ -4,18 +4,6 @@
 
 namespace javaflow::bytecode {
 
-std::string_view value_type_name(ValueType t) noexcept {
-  switch (t) {
-    case ValueType::Int: return "int";
-    case ValueType::Long: return "long";
-    case ValueType::Float: return "float";
-    case ValueType::Double: return "double";
-    case ValueType::Ref: return "ref";
-    case ValueType::Void: return "void";
-  }
-  return "?";
-}
-
 std::int32_t local_register(const Instruction& inst) noexcept {
   const Group g = inst.group();
   if (g != Group::LocalRead && g != Group::LocalWrite &&

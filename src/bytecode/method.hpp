@@ -13,11 +13,8 @@
 
 namespace javaflow::bytecode {
 
-// Java value types (Figure 8 / Figure 15). A value occupies one stack slot
-// regardless of width (see DESIGN.md, "Value-based stack").
-enum class ValueType : std::uint8_t { Int, Long, Float, Double, Ref, Void };
-
-std::string_view value_type_name(ValueType t) noexcept;
+// ValueType lives in bytecode/opcode.hpp next to the signature alphabet
+// it encodes (re-exported here via the include above).
 
 // One ByteCode instruction in linear-address form.
 struct Instruction {

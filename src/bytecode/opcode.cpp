@@ -25,6 +25,37 @@ const OpInfo& op_info(Op op) noexcept {
   return kTable[static_cast<std::uint8_t>(op)];
 }
 
+std::string_view value_type_name(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::Int: return "int";
+    case ValueType::Long: return "long";
+    case ValueType::Float: return "float";
+    case ValueType::Double: return "double";
+    case ValueType::Ref: return "ref";
+    case ValueType::Void: return "void";
+  }
+  return "?";
+}
+
+ValueType type_from_sig_char(char c) noexcept {
+  switch (c) {
+    case 'I': return ValueType::Int;
+    case 'J': return ValueType::Long;
+    case 'F': return ValueType::Float;
+    case 'D': return ValueType::Double;
+    case 'A': return ValueType::Ref;
+    default: return ValueType::Void;
+  }
+}
+
+bool is_typed_sig_char(char c) noexcept {
+  return c == 'I' || c == 'J' || c == 'F' || c == 'D' || c == 'A';
+}
+
+bool is_generic_sig_char(char c) noexcept {
+  return c == 'X' || c == 'Y' || c == 'Z' || c == 'W';
+}
+
 bool is_valid_opcode(std::uint8_t byte) noexcept { return kTable[byte].valid; }
 
 std::string_view op_name(Op op) noexcept { return op_info(op).name; }

@@ -69,6 +69,27 @@ enum class OperandKind : std::uint8_t {
 // assembled and stored on the Instruction itself.
 inline constexpr std::uint8_t kVarCount = 255;
 
+// Java value types (Figure 8 / Figure 15). A value occupies one stack slot
+// regardless of width (see DESIGN.md, "Value-based stack"). Defined here,
+// next to the signature alphabet below, because the `sig` strings in the
+// opcode table are spelled in exactly these types.
+enum class ValueType : std::uint8_t { Int, Long, Float, Double, Ref, Void };
+
+std::string_view value_type_name(ValueType t) noexcept;
+
+// ---- signature-character helpers ----
+//
+// Single source of truth for decoding the verifier transfer signatures
+// in the opcode table below (the verifier, the fabric lint pass and the
+// bounds analyzer all consume these; they used to carry private copies).
+
+// I/J/F/D/A -> the concrete value type; anything else -> Void.
+ValueType type_from_sig_char(char c) noexcept;
+// True for the concretely typed signature characters I J F D A.
+bool is_typed_sig_char(char c) noexcept;
+// True for the positional generic slots X Y Z W (dup/pop/swap family).
+bool is_generic_sig_char(char c) noexcept;
+
 // X-macro master table: OP(name, byte, Group, pop, push, OperandKind, sig)
 //
 // `sig` is a verifier transfer signature "<pops)>(pushes>" using

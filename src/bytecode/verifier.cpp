@@ -9,20 +9,8 @@ namespace {
 
 using Stack = std::vector<ValueType>;
 
-ValueType type_from_sig_char(char c) {
-  switch (c) {
-    case 'I': return ValueType::Int;
-    case 'J': return ValueType::Long;
-    case 'F': return ValueType::Float;
-    case 'D': return ValueType::Double;
-    case 'A': return ValueType::Ref;
-    default: return ValueType::Void;
-  }
-}
-
-bool is_generic_sig_char(char c) {
-  return c == 'X' || c == 'Y' || c == 'Z' || c == 'W';
-}
+// type_from_sig_char / is_generic_sig_char come from bytecode/opcode.hpp —
+// the single source of truth for the signature alphabet.
 
 struct Verifier {
   const Method& m;

@@ -39,6 +39,20 @@ namespace javaflow::cache {
 // (and `javaflow_cache prune` deletes the stale files).
 inline constexpr std::uint32_t kEngineFingerprint = 1;
 
+// Analyzer version (docs/ANALYSIS.md): bump whenever the static bound /
+// model-check semantics change (cost model, fixpoint rules, state
+// abstraction). Folded into the record fingerprint so cached metrics
+// produced under older analyzer semantics can never mask a bounds
+// regression when a verify-mode replay re-checks them.
+inline constexpr std::uint32_t kAnalysisFingerprint = 1;
+
+// The fingerprint stamped on (and demanded of) record files: engine and
+// analyzer versions combined. Bumping either constant invalidates every
+// existing record.
+inline constexpr std::uint32_t record_fingerprint() noexcept {
+  return (kEngineFingerprint << 8) | (kAnalysisFingerprint & 0xffu);
+}
+
 // Digest of the simulation-relevant method body. Two methods with equal
 // body digests produce identical RunMetrics in every cell (the engine
 // reads the name only as a workspace-cache tag), which is what corpus

@@ -37,7 +37,7 @@ struct CellRecord {
 };
 
 struct MethodRecord {
-  std::uint32_t fingerprint = 0;  // cache/key.hpp kEngineFingerprint
+  std::uint32_t fingerprint = 0;  // cache/key.hpp record_fingerprint()
   std::string method_name;        // informational (CLI stats/invalidate)
   std::vector<CellRecord> cells;
 

@@ -190,7 +190,7 @@ std::uintmax_t CacheStore::prune(std::uint32_t fingerprint) const {
 std::uintmax_t CacheStore::invalidate(
     const std::string& method_substr) const {
   std::uintmax_t removed = 0;
-  walk(kEngineFingerprint, [&](const WalkEntry& e) {
+  walk(record_fingerprint(), [&](const WalkEntry& e) {
     const bool match =
         method_substr.empty() ||
         (e.valid &&

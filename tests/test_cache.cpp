@@ -326,7 +326,7 @@ TEST(CacheSweep, CorruptedRecordDegradesToAMiss) {
   // Vandalize one record: truncate it mid-file.
   const cache::CacheStore store(dir);
   std::string victim;
-  store.walk(cache::kEngineFingerprint,
+  store.walk(cache::record_fingerprint(),
              [&](const cache::CacheStore::WalkEntry& e) {
                if (victim.empty()) victim = e.path;
              });
@@ -355,7 +355,7 @@ TEST(CacheSweep, VerifyCatchesAndRepairsPoisonedRecords) {
   const cache::CacheStore store(dir);
   std::string path;
   cache::MethodRecord poisoned;
-  store.walk(cache::kEngineFingerprint,
+  store.walk(cache::record_fingerprint(),
              [&](const cache::CacheStore::WalkEntry& e) {
                if (path.empty() && e.current) {
                  path = e.path;

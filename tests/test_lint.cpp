@@ -305,7 +305,9 @@ TEST(LintRules, EveryRuleIdIsUniqueAndStable) {
       LintRule::OperandMismatch,  LintRule::UntokenizedCycle,
       LintRule::CapacityOverflow, LintRule::FanoutOverflow,
       LintRule::UnplacedNode,     LintRule::BackEdge,
-      LintRule::UnreachableCode,
+      LintRule::UnreachableCode,  LintRule::BufferBoundOverflow,
+      LintRule::TokenDeadlock,    LintRule::BoundViolation,
+      LintRule::BoundUnproven,
   };
   std::vector<std::string_view> ids;
   for (const LintRule r : all) {

@@ -131,9 +131,9 @@ int main(int argc, char** argv) {
 
   if (cmd == "stats") {
     const cache::CacheStore store(resolved);
-    const cache::CacheStore::Stats s = store.stats(cache::kEngineFingerprint);
+    const cache::CacheStore::Stats s = store.stats(cache::record_fingerprint());
     std::printf("dir:             %s\n", resolved.c_str());
-    std::printf("fingerprint:     %u\n", cache::kEngineFingerprint);
+    std::printf("fingerprint:     %u\n", cache::record_fingerprint());
     std::printf("record files:    %ju\n", s.files);
     std::printf("bytes:           %ju\n", s.bytes);
     std::printf("cells:           %ju\n", s.cells);
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "prune") {
     const cache::CacheStore store(resolved);
-    const std::uintmax_t removed = store.prune(cache::kEngineFingerprint);
+    const std::uintmax_t removed = store.prune(cache::record_fingerprint());
     std::printf("pruned %ju stale/corrupt record file(s) from %s\n",
                 removed, resolved.c_str());
     return 0;

@@ -6,20 +6,34 @@
 //   javaflow_lint --config Compact2        one configuration only
 //   javaflow_lint --json                   machine-readable findings
 //   javaflow_lint --file corpus.jfasm      lint a program image instead
+//   javaflow_lint --bounds --model-check   add the static bound analyzer
+//                                          and token-flow model checker
+//                                          (docs/ANALYSIS.md)
+//   javaflow_lint --bounds-sweep 32        cross-validate the bounds
+//                                          against a stride-32 engine
+//                                          sweep and report tightness
 //
 // Exits 0 when no error-severity finding is raised, 1 otherwise (warnings
 // never fail the run), 2 on usage errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.hpp"
+#include "analysis/figure_of_merit.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/model_check.hpp"
 #include "bytecode/textio.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/loader.hpp"
 #include "sim/config.hpp"
 #include "workloads/corpus.hpp"
 
@@ -41,6 +55,13 @@ int usage() {
       "  --buffer-cap N    per-node operand buffer capacity (JF-E005)\n"
       "  --fanout-cap N    consumer-address array limit (JF-E006)\n"
       "  --no-warnings     suppress warning-severity rules\n"
+      "  --bounds          run the static timing/resource bound analyzer\n"
+      "                    (JF-E008 / JF-W103, docs/ANALYSIS.md)\n"
+      "  --model-check     prove token-flow deadlock-freedom per method\n"
+      "                    (JF-E009 on a deadlock witness)\n"
+      "  --bounds-sweep N  execute a stride-N sweep with bound\n"
+      "                    cross-validation (JF-E010) and report\n"
+      "                    predicted/actual tightness per configuration\n"
       "  --json            emit the report as JSON on stdout\n"
       "  --quiet           summary only (text mode)\n");
   return 2;
@@ -54,6 +75,120 @@ bool parse_int(const char* s, int& out) {
   return true;
 }
 
+// Predicted/actual tick-ratio distribution for one configuration: how
+// tight the static lower bound is against what the engine measured.
+// Ratios live in (0, 1] when the bound is sound; deciles histogrammed.
+struct TightnessRow {
+  std::string config;
+  std::size_t cells = 0;
+  double ratio_sum = 0.0;
+  std::size_t histogram[10] = {};
+
+  void add(double ratio) {
+    ++cells;
+    ratio_sum += ratio;
+    int bin = static_cast<int>(ratio * 10.0);
+    bin = std::clamp(bin, 0, 9);
+    ++histogram[bin];
+  }
+};
+
+// Tightness over the sweep's executed cells. Bounds are recomputed here
+// (once per method x config — the sweep does not export its internal
+// MethodBounds); cached RunMetrics served by the result cache are rated
+// exactly like fresh executions, which is what makes verify-mode replays
+// re-check old records against the current analyzer.
+std::vector<TightnessRow> measure_tightness(
+    const analysis::Sweep& sweep, const bytecode::Program& program) {
+  std::map<std::string, const bytecode::Method*> by_name;
+  for (const bytecode::Method& m : program.methods) by_name[m.name] = &m;
+
+  std::vector<TightnessRow> rows(sweep.configs.size());
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows[ci].config = sweep.configs[ci].name;
+  }
+
+  // (method name, config) -> static lower bound, computed lazily.
+  std::map<std::pair<std::string, std::size_t>, std::int64_t> lb_cache;
+  std::vector<fabric::Fabric> fabrics;
+  fabrics.reserve(sweep.configs.size());
+  for (const sim::MachineConfig& cfg : sweep.configs) {
+    fabrics.emplace_back(cfg.fabric_options());
+  }
+
+  for (const analysis::SweepSample& s : sweep.samples) {
+    const sim::RunMetrics& mt = s.metrics;
+    if (!mt.fits || !mt.completed || mt.timed_out || mt.exception ||
+        mt.ticks <= 0) {
+      continue;
+    }
+    const auto key = std::make_pair(s.method, s.config_index);
+    auto it = lb_cache.find(key);
+    if (it == lb_cache.end()) {
+      std::int64_t lb = analysis::kNoBound;
+      const auto mi = by_name.find(s.method);
+      if (mi != by_name.end()) {
+        const bytecode::Method& m = *mi->second;
+        const fabric::DataflowGraph graph =
+            fabric::build_dataflow_graph(m, program.pool);
+        const fabric::Placement placement =
+            fabric::load_method(fabrics[s.config_index], m);
+        const analysis::MethodBounds bounds = analysis::compute_bounds(
+            m, graph, fabrics[s.config_index], placement,
+            sweep.configs[s.config_index]);
+        if (bounds.valid) lb = bounds.lower_bound_ticks;
+      }
+      it = lb_cache.emplace(key, lb).first;
+    }
+    if (it->second <= 0 || it->second >= analysis::kNoBound) continue;
+    rows[s.config_index].add(static_cast<double>(it->second) /
+                             static_cast<double>(mt.ticks));
+  }
+  return rows;
+}
+
+std::string tightness_text(const std::vector<TightnessRow>& rows) {
+  std::string out = "bound tightness (static lower bound / measured ticks):\n";
+  char buf[256];
+  for (const TightnessRow& r : rows) {
+    const double mean =
+        r.cells > 0 ? r.ratio_sum / static_cast<double>(r.cells) : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-10s %6zu cells, mean %.3f  [",
+                  r.config.c_str(), r.cells, mean);
+    out += buf;
+    for (int b = 0; b < 10; ++b) {
+      std::snprintf(buf, sizeof buf, "%s%zu", b > 0 ? " " : "",
+                    r.histogram[b]);
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::string tightness_json(const std::vector<TightnessRow>& rows) {
+  std::string out = "\"tightness\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TightnessRow& r = rows[i];
+    const double mean =
+        r.cells > 0 ? r.ratio_sum / static_cast<double>(r.cells) : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"config\":\"%s\",\"cells\":%zu,\"mean\":%.6f,"
+                  "\"histogram\":[",
+                  i > 0 ? "," : "", r.config.c_str(), r.cells, mean);
+    out += buf;
+    for (int b = 0; b < 10; ++b) {
+      std::snprintf(buf, sizeof buf, "%s%zu", b > 0 ? "," : "",
+                    r.histogram[b]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +197,9 @@ int main(int argc, char** argv) {
   bool kernels_only = false;
   bool json = false;
   bool quiet = false;
+  bool bounds = false;
+  bool model_check = false;
+  int bounds_sweep_stride = 0;  // 0 = no cross-validation sweep
   int methods = 1605;
   int threads = 0;
   analysis::LintOptions options;
@@ -98,6 +236,16 @@ int main(int argc, char** argv) {
       options.mesh_fanout_limit = value;
     } else if (arg == "--no-warnings") {
       options.warnings = false;
+    } else if (arg == "--bounds") {
+      bounds = true;
+    } else if (arg == "--model-check") {
+      model_check = true;
+    } else if (arg == "--bounds-sweep") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, bounds_sweep_stride) ||
+          bounds_sweep_stride < 1) {
+        return usage();
+      }
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--quiet") {
@@ -145,17 +293,64 @@ int main(int argc, char** argv) {
     program = workloads::make_corpus(corpus_options).program;
   }
 
-  const analysis::LintReport report =
+  analysis::LintReport report =
       analysis::lint_corpus(program, configs, options, threads);
 
+  // The analyzer passes fold their findings into the same report; the
+  // methods/placements tallies are zeroed before merging so the summary
+  // keeps counting each method once.
+  if (bounds) {
+    analysis::LintReport b =
+        analysis::bounds_corpus(program, configs, options, threads);
+    b.methods_linted = 0;
+    b.placements_linted = 0;
+    report.merge(std::move(b));
+  }
+  if (model_check) {
+    analysis::LintReport mc =
+        analysis::model_check_corpus(program, {}, threads);
+    mc.methods_linted = 0;
+    mc.placements_linted = 0;
+    report.merge(std::move(mc));
+  }
+
+  std::vector<TightnessRow> tightness;
+  if (bounds_sweep_stride > 0) {
+    std::vector<const bytecode::Method*> sweep_methods;
+    sweep_methods.reserve(program.methods.size());
+    for (const bytecode::Method& m : program.methods) {
+      sweep_methods.push_back(&m);
+    }
+    analysis::SweepOptions sweep_options;
+    sweep_options.configs = configs;
+    sweep_options.stride = bounds_sweep_stride;
+    sweep_options.threads = threads;
+    sweep_options.check_bounds = true;
+    sweep_options.lint_options = options;
+    const analysis::Sweep sweep = analysis::run_sweep(
+        sweep_methods, program.pool, {}, sweep_options);
+    analysis::LintReport sr;
+    sr.findings = sweep.lint_findings;
+    sr.errors = sweep.lint_errors;
+    sr.warnings = sweep.lint_warnings;
+    report.merge(std::move(sr));
+    tightness = measure_tightness(sweep, program);
+  }
+
   if (json) {
-    std::cout << analysis::to_json(report) << '\n';
+    std::string out = analysis::to_json(report, configs);
+    if (!tightness.empty()) {
+      const std::size_t brace = out.rfind('}');
+      if (brace != std::string::npos) {
+        out.insert(brace, "," + tightness_json(tightness));
+      }
+    }
+    std::cout << out << '\n';
   } else if (quiet) {
-    std::printf("%zu methods, %zu placements: %d errors, %d warnings\n",
-                report.methods_linted, report.placements_linted,
-                report.errors, report.warnings);
+    std::cout << analysis::to_summary(report) << '\n';
   } else {
     std::cout << analysis::to_text(report);
+    if (!tightness.empty()) std::cout << tightness_text(tightness);
   }
   return report.clean() ? 0 : 1;
 }
