@@ -107,6 +107,9 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   const std::size_t n_scenarios = options.scenarios.size();
   const std::size_t cells_per_method = sweep.configs.size() * n_scenarios;
   sweep.samples.resize(picks.size() * cells_per_method);
+  if (options.attribution) {
+    sweep.attribution.resize(sweep.samples.size());
+  }
 
   // Lint / bounds debug modes: per-method reports fill pre-sized slots
   // so the flattened finding order matches the serial sweep for any
@@ -120,8 +123,10 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   // would silently under-count the registries/tracer: force the cache
   // off for instrumented sweeps.
   const bool instrumented = options.collect_metrics ||
+                            options.attribution ||
                             options.engine.metrics != nullptr ||
                             options.engine.tracer != nullptr ||
+                            options.engine.flight != nullptr ||
                             options.engine.trace;
   cache::CacheMode mode = cache::resolve_cache_mode(options.cache);
   if (instrumented && mode != cache::CacheMode::Off) {
@@ -200,6 +205,9 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     // also on, each run's counters are merged into `metrics` afterwards
     // (the merge is commutative, so the aggregate is unchanged).
     obs::MetricsRegistry bounds_reg;
+    // Attribution scratch: each engine run resets and refills it; the
+    // cell's category vector is extracted right after the run.
+    obs::FlightRecorder flight;
     SweepProfile::Lane prof;
     // Result-cache scratch, reused across the lane's methods.
     cache::MethodRecord record;
@@ -215,6 +223,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     sim::EngineOptions engine_options = options.engine;
     if (options.collect_metrics) engine_options.metrics = &lane->metrics;
     if (options.check_bounds) engine_options.metrics = &lane->bounds_reg;
+    if (options.attribution) engine_options.flight = &lane->flight;
     for (const sim::MachineConfig& cfg : sweep.configs) {
       lane->fabrics.emplace_back(cfg.fabric_options());
       lane->engines.emplace_back(cfg, engine_options);
@@ -228,39 +237,50 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   // Opt-in progress heartbeat: at most ~one stderr line a second (plus a
   // final one), claimed by whichever lane crosses the interval first.
   // With dedup, the denominator is the deduplicated work list; with the
-  // cache on, the line also carries live hit/miss/dedup cell counts.
+  // cache on, the line also carries live hit/miss/dedup cell counts. The
+  // ETA comes from the completed-cell rate across all lanes (cells, not
+  // methods, because a full cache hit finishes a method's cells orders
+  // of magnitude faster than the compute path), and every line is
+  // flushed so CI log buffering can't hold progress back.
   std::atomic<std::size_t> methods_done{0};
+  std::atomic<std::size_t> cells_done{0};
   std::atomic<std::int64_t> last_beat_ms{0};
   std::atomic<std::size_t> hb_hit_cells{0};
   std::atomic<std::size_t> hb_miss_cells{0};
+  const std::size_t cells_planned = work.size() * cells_per_method;
   const std::size_t dedup_cells_planned =
       (picks.size() - work.size()) * cells_per_method;
   auto heartbeat = [&] {
     if (!options.heartbeat) return;
     const std::size_t done = methods_done.fetch_add(1) + 1;
+    const std::size_t cells =
+        cells_done.fetch_add(cells_per_method) + cells_per_method;
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - sweep_t0).count();
     const auto now_ms = static_cast<std::int64_t>(elapsed * 1000.0);
     std::int64_t last = last_beat_ms.load(std::memory_order_relaxed);
     if (now_ms - last < 1000 && done != work.size()) return;
     if (!last_beat_ms.compare_exchange_strong(last, now_ms)) return;
-    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
-                                      : 0.0;
+    const double cell_rate =
+        elapsed > 0.0 ? static_cast<double>(cells) / elapsed : 0.0;
     const double eta =
-        rate > 0.0 ? static_cast<double>(work.size() - done) / rate : 0.0;
+        cell_rate > 0.0
+            ? static_cast<double>(cells_planned - cells) / cell_rate
+            : 0.0;
     if (mode != cache::CacheMode::Off) {
       std::fprintf(stderr,
-                   "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s, "
+                   "sweep: %zu/%zu methods (%.0f cells/s, ETA %.0f s, "
                    "cache %zu hit / %zu miss / %zu dedup cells)\n",
-                   done, work.size(), rate, eta,
+                   done, work.size(), cell_rate, eta,
                    hb_hit_cells.load(std::memory_order_relaxed),
                    hb_miss_cells.load(std::memory_order_relaxed),
                    dedup_cells_planned);
     } else {
       std::fprintf(stderr,
-                   "sweep: %zu/%zu methods (%.1f methods/s, ETA %.0f s)\n",
-                   done, work.size(), rate, eta);
+                   "sweep: %zu/%zu methods (%.0f cells/s, ETA %.0f s)\n",
+                   done, work.size(), cell_rate, eta);
     }
+    std::fflush(stderr);
   };
 
   // One task per (deduplicated) method. A full cache hit fills every
@@ -427,6 +447,23 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         if (options.check_bounds) lane.bounds_reg = obs::MetricsRegistry{};
         sample.metrics =
             lane.engines[ci].run(m, graph, placements[ci], predictor);
+        if (options.attribution) {
+          obs::AttributeOptions ao;
+          ao.mesh_width = sweep.configs[ci].width;
+          ao.collapsed = sweep.configs[ci].collapsed();
+          ao.detail = false;  // the sweep keeps only the category vector
+          const obs::Attribution attr = obs::attribute(lane.flight, ao);
+          CellAttribution& cell =
+              sweep.attribution[pi * cells_per_method +
+                                ci * n_scenarios + si];
+          // The key invariant: attributed categories sum exactly to the
+          // run's ticks. A completed run that fails it is recorded as
+          // unattributed (zeros), never as a silently wrong vector.
+          if (attr.valid && attr.ticks == sample.metrics.ticks) {
+            cell.valid = true;
+            cell.category_ticks = attr.category_ticks;
+          }
+        }
         if (options.check_bounds) {
           check_metrics_against_bounds(
               m.name, sweep.configs[ci].name,
@@ -564,6 +601,11 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       sample.method = m.name;
       sample.benchmark = m.benchmark;
       sample.is_hot = is_hot;
+      // Attribution is name-independent, so a duplicate's vector is its
+      // leader's vector, exactly.
+      if (options.attribution) {
+        sweep.attribution[dst + c] = sweep.attribution[src + c];
+      }
     }
     sweep.profile.lanes[0].dedup_cells += cells_per_method;
     sweep.profile.lanes[0].cells += cells_per_method;
@@ -761,6 +803,26 @@ std::vector<NetworkRow> network_rows(const Sweep& sweep) {
         static_cast<double>(row.total_serial_messages) / n;
     row.mean_ticks_exec_1plus = exec1[ci] / n;
     row.mean_ticks_exec_2plus = exec2[ci] / n;
+  }
+  return rows;
+}
+
+std::vector<AttributionRow> attribution_rows(const Sweep& sweep) {
+  std::vector<AttributionRow> rows(sweep.configs.size());
+  for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+    rows[ci].config = sweep.configs[ci].name;
+  }
+  if (sweep.attribution.size() != sweep.samples.size()) return rows;
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    const SweepSample& s = sweep.samples[i];
+    const CellAttribution& cell = sweep.attribution[i];
+    if (!usable(s) || !cell.valid) continue;
+    AttributionRow& row = rows[s.config_index];
+    ++row.samples;
+    row.total_ticks += s.metrics.ticks;
+    for (std::size_t c = 0; c < obs::kNumPathCategories; ++c) {
+      row.category_ticks[c] += cell.category_ticks[c];
+    }
   }
   return rows;
 }

@@ -2,6 +2,7 @@
 // both branch scenarios, normalized to the Baseline Figure of Merit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "analysis/stats.hpp"
 #include "bytecode/method.hpp"
 #include "cache/store.hpp"
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -42,6 +44,23 @@ struct SweepSample {
   // Field-wise equality, used to assert that parallel and serial sweeps
   // produce identical sample sequences.
   bool operator==(const SweepSample&) const = default;
+};
+
+// Critical-path attribution for one sweep cell (SweepOptions::
+// attribution): the per-category tick totals from obs::attribute().
+// `valid` requires a completed run whose attributed categories sum
+// exactly to the cell's RunMetrics.ticks; invalid cells keep zeros.
+// Name-independent, so dedup copies are exact.
+struct CellAttribution {
+  bool valid = false;
+  std::array<std::int64_t, obs::kNumPathCategories> category_ticks{};
+
+  std::int64_t total() const {
+    std::int64_t s = 0;
+    for (const std::int64_t v : category_ticks) s += v;
+    return s;
+  }
+  bool operator==(const CellAttribution&) const = default;
 };
 
 // Per-phase wall-clock profile of a sweep, aggregated per worker lane
@@ -94,6 +113,13 @@ struct SweepOptions {
   // the aggregate is identical for every thread count. Overrides any
   // `engine.metrics` pointer while the sweep runs.
   bool collect_metrics = false;
+  // Critical-path attribution (docs/OBSERVABILITY.md "Attribution"):
+  // attach a lane-local obs::FlightRecorder to every engine and fill
+  // Sweep::attribution with per-cell category tick vectors. Attribution
+  // is an instrumented mode — like the registries, it forces the result
+  // cache off (cached cells record no dependency edges). Deterministic
+  // and thread-count-invariant like the samples.
+  bool attribution = false;
   // Worker threads for the sweep: 1 (default) runs in-line on the
   // calling thread; 0 uses one worker per hardware thread; n >= 2 uses
   // exactly n workers. The sweep shards per method and writes samples at
@@ -149,6 +175,9 @@ struct Sweep {
   // bit-identical; see tests/test_scheduler.cpp).
   std::string scheduler;
   std::vector<SweepSample> samples;
+  // Parallel to `samples` when SweepOptions::attribution is set (empty
+  // otherwise): critical-path category ticks per cell.
+  std::vector<CellAttribution> attribution;
   // Populated when SweepOptions::lint and/or check_bounds is set.
   std::vector<LintFinding> lint_findings;
   std::int32_t lint_errors = 0;
@@ -247,6 +276,18 @@ struct NetworkRow {
   double mean_ticks_exec_2plus = 0.0;
 };
 std::vector<NetworkRow> network_rows(const Sweep& sweep);
+
+// Per-config critical-path attribution totals (sweeps run with
+// SweepOptions::attribution): summed category ticks over attributed
+// usable cells. The per-row invariant total(category_ticks) ==
+// total_ticks holds by construction of obs::attribute().
+struct AttributionRow {
+  std::string config;
+  std::size_t samples = 0;  // attributed usable cells
+  std::int64_t total_ticks = 0;
+  std::array<std::int64_t, obs::kNumPathCategories> category_ticks{};
+};
+std::vector<AttributionRow> attribution_rows(const Sweep& sweep);
 
 // Tables 27/28: per-method Figure of Merit across configurations for a
 // named method list (the top-4 SPEC methods).

@@ -169,6 +169,27 @@ void write_sweep_json(std::ostream& os, const Sweep& sweep, int indent) {
      << ", \"verify_mismatch_cells\": " << sweep.cache.verify_mismatch_cells
      << "},\n";
 
+  // Critical-path attribution (docs/OBSERVABILITY.md "Attribution"),
+  // present only when the sweep ran with SweepOptions::attribution: per
+  // config, the summed category vector over attributed usable cells.
+  if (!sweep.attribution.empty()) {
+    const std::vector<AttributionRow> attr = attribution_rows(sweep);
+    os << in1 << "\"attribution\": [\n";
+    for (std::size_t ci = 0; ci < attr.size(); ++ci) {
+      const AttributionRow& a = attr[ci];
+      os << in2 << "{\"name\": \"" << json_escape(a.config) << "\""
+         << ", \"samples\": " << a.samples
+         << ", \"total_ticks\": " << a.total_ticks;
+      for (std::size_t c = 0; c < obs::kNumPathCategories; ++c) {
+        os << ", \""
+           << obs::path_category_name(static_cast<obs::PathCategory>(c))
+           << "\": " << a.category_ticks[c];
+      }
+      os << "}" << (ci + 1 < attr.size() ? "," : "") << "\n";
+    }
+    os << in1 << "],\n";
+  }
+
   const SweepProfile::Lane total = sweep.profile.total();
   os << in1 << "\"profile\": {\n"
      << in2 << "\"wall_s\": " << sweep.profile.wall_s << ",\n"

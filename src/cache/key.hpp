@@ -25,6 +25,7 @@
 
 #include "bytecode/method.hpp"
 #include "cache/hash.hpp"
+#include "obs/critpath.hpp"
 #include "sim/branch_predictor.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -46,11 +47,15 @@ inline constexpr std::uint32_t kEngineFingerprint = 1;
 // regression when a verify-mode replay re-checks them.
 inline constexpr std::uint32_t kAnalysisFingerprint = 1;
 
-// The fingerprint stamped on (and demanded of) record files: engine and
-// analyzer versions combined. Bumping either constant invalidates every
-// existing record.
+// The fingerprint stamped on (and demanded of) record files: engine,
+// analyzer, and attribution-format versions combined (the last from
+// obs::kAttributionFingerprint, so snapshot-bearing cached records
+// invalidate when critical-path category semantics change). Bumping any
+// constant invalidates every existing record.
 inline constexpr std::uint32_t record_fingerprint() noexcept {
-  return (kEngineFingerprint << 8) | (kAnalysisFingerprint & 0xffu);
+  return (kEngineFingerprint << 16) |
+         ((kAnalysisFingerprint & 0xffu) << 8) |
+         (obs::kAttributionFingerprint & 0xffu);
 }
 
 // Digest of the simulation-relevant method body. Two methods with equal

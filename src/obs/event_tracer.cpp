@@ -1,8 +1,10 @@
 #include "obs/event_tracer.hpp"
 
 #include <algorithm>
+#include <map>
 #include <ostream>
 #include <set>
+#include <utility>
 
 #include "net/message.hpp"
 
@@ -55,6 +57,19 @@ class EventWriter {
     begin("X", name, pid, tid) << ",\"ts\":" << ts
                                << ",\"dur\":" << std::max<std::int64_t>(dur, 1)
                                << ",\"args\":" << args_json << '}';
+  }
+
+  // Chrome flow-event pair: an arrow from (pid 0, producer slot) to
+  // (pid 0, consumer slot). "bp":"e" binds the finish to the enclosing
+  // slice/instant at that timestamp, which is what Perfetto draws.
+  void flow(std::int64_t id, int pid, std::int64_t src_tid,
+            std::int64_t src_ts, std::int64_t dst_tid, std::int64_t dst_ts) {
+    begin("s", "operand", pid, src_tid)
+        << ",\"cat\":\"dataflow\",\"id\":" << id << ",\"ts\":" << src_ts
+        << '}';
+    begin("f", "operand", pid, dst_tid)
+        << ",\"cat\":\"dataflow\",\"id\":" << id << ",\"ts\":" << dst_ts
+        << ",\"bp\":\"e\"}";
   }
 
  private:
@@ -130,8 +145,18 @@ void write_chrome_trace(std::ostream& os, const EventTracer& tracer,
     w.meta("thread_name", kFabricPid, slot, label);
   }
 
+  // Producer bookkeeping for mesh flow arrows: the arrow starts at the
+  // producer's most recent completed firing (the tick the operand left),
+  // which sorts before the arrival because mesh transit takes >= 1 tick.
+  std::map<std::int32_t, std::pair<std::int64_t, std::int64_t>>
+      last_complete;  // node -> (tick, slot)
+  std::int64_t flow_id = 0;
+
   for (const TraceEvent& e : events) {
     const std::string args = node_args(e);
+    if (e.kind == TraceEventKind::FireComplete && e.node >= 0) {
+      last_complete[e.node] = {e.tick, e.slot};
+    }
     switch (e.kind) {
       case TraceEventKind::TokenDeliver: {
         const auto cmd =
@@ -145,6 +170,14 @@ void write_chrome_trace(std::ostream& os, const EventTracer& tracer,
             "operand side " + std::to_string(static_cast<int>(e.aux));
         w.instant(name, kFabricPid, e.slot, e.tick, args);
         w.instant(name, kNetworkPid, kMeshTid, e.tick, args);
+        if (e.dur >= 0) {
+          const auto it =
+              last_complete.find(static_cast<std::int32_t>(e.dur));
+          if (it != last_complete.end() && it->second.first <= e.tick) {
+            w.flow(flow_id++, kFabricPid, it->second.second,
+                   it->second.first, e.slot, e.tick);
+          }
+        }
         break;
       }
       case TraceEventKind::FireStart:

@@ -12,7 +12,9 @@
 // (loadable in Perfetto / chrome://tracing): one track per fabric node
 // (pid 0, tid = physical chain slot; firings as complete "X" slices,
 // token/operand arrivals as instants) and one track per network (pid 1:
-// serial, mesh, ring). Ticks map to microseconds 1:1.
+// serial, mesh, ring), plus flow events (producer→consumer arrows) for
+// every mesh operand whose producer is known, so Perfetto draws the
+// realized dataflow edges. Ticks map to microseconds 1:1.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +27,9 @@ namespace javaflow::obs {
 
 enum class TraceEventKind : std::uint8_t {
   TokenDeliver,     // serial message handled at a node; aux = net::Command
-  OperandArrive,    // mesh operand handled at a node; aux = consumer side
+  OperandArrive,    // mesh operand handled at a node; aux = consumer side,
+                    // dur = producer linear address (-1 unknown) — feeds
+                    // the exporter's producer→consumer flow arrows
   FireStart,        // execution began; dur = execution ticks
   FireComplete,     // execution finished
   ServiceStart,     // ring request dispatched; aux = net::RingService,

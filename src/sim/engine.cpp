@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/critpath.hpp"
 #include "obs/event_tracer.hpp"
 #include "obs/metrics.hpp"
 
@@ -92,6 +93,15 @@ struct NodeRt {
   bool waiting_tail_flush = false;  // back transfer fired, awaiting TAIL
   std::int32_t decided_target = -1;
 
+  // Flight-recorder bookkeeping (null recorder leaves all of it idle):
+  // the dependency edge that delivered each currently-held token, so its
+  // eventual release can splice a hold edge (operand wait / TAIL hold)
+  // between arrival and release. `buffered_edges` parallels `buffered`.
+  std::int32_t held_reg_edge = -1;
+  std::int32_t held_memory_edge = -1;
+  std::int32_t held_tail_edge = -1;
+  std::vector<std::int32_t> buffered_edges;
+
   // `buffered` keeps its capacity across iterations and runs, so a
   // reused workspace stops paying for operand-buffer growth after the
   // first run.
@@ -107,6 +117,10 @@ struct NodeRt {
     route_to = net::kToNext;
     waiting_tail_flush = false;
     decided_target = -1;
+    held_reg_edge = -1;
+    held_memory_edge = -1;
+    held_tail_edge = -1;
+    buffered_edges.clear();
   }
 };
 
@@ -114,12 +128,15 @@ enum class EvKind : std::uint8_t { Serial, Mesh, ExecDone, ServiceDone };
 
 // 32-byte event record. `aux` is the serial register number (Serial) or
 // the consumer's iteration epoch (Mesh); the old full-SerialMessage
-// payload is gone because the engine only ever read {cmd, reg}.
+// payload is gone because the engine only ever read {cmd, reg}. `prod`
+// is the producing node of a Mesh operand — it rides in what used to be
+// padding and feeds the tracer's producer->consumer flow events.
 struct Event {
   std::int64_t tick = 0;
   std::int64_t seq = 0;
   std::int32_t node = -1;
   std::int32_t aux = 0;
+  std::int32_t prod = -1;            // Mesh only
   EvKind kind = EvKind::Serial;
   Command cmd = Command::HeadToken;  // Serial only
   std::uint8_t side = 0;             // Mesh only
@@ -135,6 +152,10 @@ struct EventAfter {
     return std::tie(a.tick, a.seq) > std::tie(b.tick, b.seq);
   }
 };
+
+// Sentinel `parent` for schedule(): attach the new dependency edge to
+// the event currently being dispatched (flight recorder only).
+constexpr std::int32_t kParentCurrent = -2;
 
 // Largest per-group execution cost in mesh cycles (Table 17: FpArith).
 constexpr std::int64_t kMaxExecMeshCycles = 10;
@@ -168,6 +189,11 @@ struct detail::EngineWorkspace {
   std::vector<std::vector<Event>> buckets;
   std::vector<Event> overflow;
   std::vector<Token> flush_scratch;  // flush_up bundle staging
+  // Flight-recorder lanes: arrival edges of flushed tokens (parallels
+  // flush_scratch) and the edge that made each node fire-ready while its
+  // execution unit was busy (FireStall attribution, idus > 1 only).
+  std::vector<std::int32_t> flush_edge_scratch;
+  std::vector<std::int32_t> node_ready_edge;
 
   // classify_branches() cache: configuration-independent, so it only
   // needs recomputing when the engine is handed a different method.
@@ -200,6 +226,7 @@ class Run {
         trace_(opt.trace),
         mx_(opt.metrics),
         tr_(opt.tracer),
+        fr_(opt.flight),
         branch_kinds_(ws.branch_kinds),
         node_exec_busy_(ws.node_exec_busy),
         pending_fire_(ws.pending_fire),
@@ -216,13 +243,18 @@ class Run {
         heap_(ws.heap),
         buckets_(ws.buckets),
         overflow_(ws.overflow),
-        flush_scratch_(ws.flush_scratch) {}
+        flush_scratch_(ws.flush_scratch),
+        flush_edge_scratch_(ws.flush_edge_scratch),
+        node_ready_edge_(ws.node_ready_edge) {}
 
   // Physical Instruction Node hosting an IDU chain slot (§4.2).
   std::int32_t phys_of_slot(std::int32_t slot) const { return slot / idus_; }
 
   RunMetrics execute() {
     RunMetrics metrics;
+    // An unfit or timed-out run leaves the recorder without a terminal
+    // edge, which attribute() reports as invalid — never as zeros.
+    if (fr_ != nullptr) fr_->reset();
     metrics.static_size = static_cast<std::int32_t>(m_.code.size());
     placement_ = external_placement_ != nullptr ? *external_placement_
                                                 : fabric::load_method(fabric_, m_);
@@ -252,6 +284,7 @@ class Run {
     tail_hold_.assign(nn, -1);
     for (std::size_t i = 0; i < nn; ++i) prepare_node(i);
     distinct_.assign(nn, 0);
+    if (fr_ != nullptr) node_ready_edge_.assign(nn, -1);
 
     if (use_calendar_) {
       init_calendar();
@@ -366,8 +399,23 @@ class Run {
     live_events_ = 0;
   }
 
-  void schedule(Event ev) {
+  // Every schedule site names the delay category its event represents;
+  // with the recorder attached, one dependency edge is captured per
+  // event. `parent` -2 means "the event being dispatched right now"
+  // (cur_edge_); hold-release sites pass an explicit splice edge
+  // instead. Without a recorder the extra arguments are dead and the
+  // hook is the usual single null check.
+  void schedule(Event ev, obs::PathCategory cat,
+                std::int32_t parent = kParentCurrent,
+                std::int32_t from_phys = -1, std::int32_t to_phys = -1,
+                std::uint8_t opcode = 0) {
     ev.seq = seq_++;
+    if (fr_ != nullptr) {
+      fr_->record_event(
+          ev.seq,
+          {now_, ev.tick, parent == kParentCurrent ? cur_edge_ : parent,
+           ev.node, from_phys, to_phys, cat, opcode});
+    }
     if (use_calendar_) {
       ++live_events_;
       if (ev.tick < cal_cur_ + bucket_count_) {
@@ -409,6 +457,7 @@ class Run {
         metrics.timed_out = true;
         break;
       }
+      if (fr_ != nullptr) cur_edge_ = fr_->edge_of_seq(ev.seq);
       dispatch(ev);
     }
   }
@@ -445,6 +494,7 @@ class Run {
       for (; i < bucket->size() && !completed_; ++i) {
         const Event ev = (*bucket)[i];
         if (trace_) trace_event(ev);
+        if (fr_ != nullptr) cur_edge_ = fr_->edge_of_seq(ev.seq);
         dispatch(ev);
       }
       live_events_ -= static_cast<std::int64_t>(i);
@@ -458,7 +508,7 @@ class Run {
       case EvKind::Serial:
         on_serial(ev.node, Token{ev.cmd, ev.aux});
         break;
-      case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.aux); break;
+      case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.aux, ev.prod); break;
       case EvKind::ExecDone: on_exec_done(ev.node); break;
       case EvKind::ServiceDone: on_service_done(ev.node); break;
     }
@@ -490,7 +540,8 @@ class Run {
   }
 
   void send_serial(std::int32_t from_node, std::int32_t to_node,
-                   Token tok, std::int64_t extra = 0) {
+                   Token tok, std::int64_t extra = 0,
+                   std::int32_t parent_edge = kParentCurrent) {
     if (to_node < 0 ||
         static_cast<std::size_t>(to_node) >= nodes_.size()) {
       return;  // token falls off the chain (e.g. past the bottom)
@@ -508,7 +559,7 @@ class Run {
     ev.cmd = tok.cmd;
     ev.aux = tok.reg;
     ev.tick = now_ + delay + extra;
-    schedule(ev);
+    schedule(ev, obs::PathCategory::SerialTransit, parent_edge);
   }
 
   void send_mesh(std::int32_t producer) {
@@ -524,12 +575,32 @@ class Run {
       Event ev;
       ev.kind = EvKind::Mesh;
       ev.node = e.consumer;
+      ev.prod = producer;
       ev.side = e.side;
       ev.aux = epoch_[static_cast<std::size_t>(e.consumer)];
       ev.tick = now_ + k_ * cycles;
-      schedule(ev);
+      schedule(ev, obs::PathCategory::MeshTransit, kParentCurrent,
+               from_phys, to_phys);
     }
   }
+
+  // ---- flight recorder (critical-path attribution) ----
+  //
+  // A token that sat held at a node between delivery and release gets a
+  // synthetic hold edge spliced in: [arrival end, now]. The release's
+  // transit edge then parents on the hold edge, so attribute() walks
+  // release -> hold -> arrival with no tick gap — waiting time becomes
+  // its own category instead of disappearing into the next hop. Callers
+  // invoke this only with the recorder attached.
+  std::int32_t hold_edge(std::int32_t node, std::int32_t arrival_edge,
+                         obs::PathCategory cat) {
+    if (arrival_edge < 0) return cur_edge_;  // defensive: unknown arrival
+    const std::int64_t arrived =
+        fr_->edges()[static_cast<std::size_t>(arrival_edge)].to_tick;
+    return fr_->record(
+        {arrived, now_, arrival_edge, node, -1, -1, cat, 0});
+  }
+
 
   // ---- telemetry (every site is a single null check when disabled) ----
   void record_mesh_metrics(std::int32_t from_phys, std::int32_t to_phys,
@@ -547,7 +618,10 @@ class Run {
         });
   }
 
-  void note_buffered(std::int32_t node, const NodeRt& n) {
+  // Called after every buffered.push_back: keeps the high-water mark
+  // and (recorder attached) the parallel arrival-edge list in sync.
+  void note_buffered(std::int32_t node, NodeRt& n) {
+    if (fr_ != nullptr) n.buffered_edges.push_back(cur_edge_);
     if (mx_ != nullptr) {
       mx_->buffer_high_water(phys_[static_cast<std::size_t>(node)],
                              n.buffered.size());
@@ -594,10 +668,12 @@ class Run {
   }
 
   // ---- serial handlers ----
-  void forward_token(std::int32_t node, Token tok) {
+  void forward_token(std::int32_t node, Token tok,
+                     std::int32_t parent_edge = kParentCurrent) {
     const NodeRt& n = nodes_[static_cast<std::size_t>(node)];
     const std::int32_t to = n.pass_through ? n.route_to : node + 1;
-    send_serial(node, to == net::kToNext ? node + 1 : to, tok);
+    send_serial(node, to == net::kToNext ? node + 1 : to, tok,
+                /*extra=*/0, parent_edge);
   }
 
   void on_serial(std::int32_t node, Token tok) {
@@ -636,6 +712,7 @@ class Run {
         if (n.ordered && !(state_[u] & kFired)) {
           n.memory_held = true;
           n.held_memory = tok;
+          if (fr_ != nullptr) n.held_memory_edge = cur_edge_;
           try_fire(node);
           return;
         }
@@ -654,6 +731,7 @@ class Run {
             !n.reg_held) {
           n.reg_held = true;
           n.held_reg = tok;
+          if (fr_ != nullptr) n.held_reg_edge = cur_edge_;
           try_fire(node);
           return;
         }
@@ -694,6 +772,7 @@ class Run {
         } else {
           n.tail_held = true;  // held until this node fires (§6.3)
           n.held_tail = tok;
+          if (fr_ != nullptr) n.held_tail_edge = cur_edge_;
           if (mx_ != nullptr) tail_hold_[u] = now_;
         }
         return;
@@ -704,12 +783,15 @@ class Run {
     }
   }
 
-  void on_mesh(std::int32_t node, std::uint8_t side, std::int32_t epoch) {
+  void on_mesh(std::int32_t node, std::uint8_t side, std::int32_t epoch,
+               std::int32_t producer) {
     const auto u = static_cast<std::size_t>(node);
     if (epoch_[u] != epoch) return;  // stale (previous iteration)
     if (tr_ != nullptr) {
+      // `dur` carries the producing node so the Chrome exporter can draw
+      // producer->consumer flow arrows (docs/OBSERVABILITY.md).
       tr_->record({now_, obs::TraceEventKind::OperandArrive, node,
-                   phys_[u], side, 0});
+                   phys_[u], side, producer});
     }
     ++pops_[u];
     try_fire(node);
@@ -748,6 +830,11 @@ class Run {
     // IDUs packed into a node (§4.2), firings within a node serialize.
     const std::size_t pn = static_cast<std::size_t>(phys_[u]);
     if (idus_ > 1 && node_exec_busy_[pn]) {
+      // Remember what made the node ready: the gap until it actually
+      // fires is FireStall time on the critical path.
+      if (fr_ != nullptr && node_ready_edge_[u] < 0) {
+        node_ready_edge_[u] = cur_edge_;
+      }
       pending_fire_[pn].push_back(node);
       return;
     }
@@ -769,11 +856,18 @@ class Run {
                    static_cast<std::int32_t>(pn),
                    static_cast<std::uint8_t>(g), cost});
     }
+    std::int32_t parent = kParentCurrent;
+    if (fr_ != nullptr && node_ready_edge_[u] >= 0) {
+      parent =
+          hold_edge(node, node_ready_edge_[u], obs::PathCategory::FireStall);
+      node_ready_edge_[u] = -1;
+    }
     Event ev;
     ev.kind = EvKind::ExecDone;
     ev.node = node;
     ev.tick = now_ + cost;
-    schedule(ev);
+    schedule(ev, obs::PathCategory::Execution, parent, -1, -1,
+             static_cast<std::uint8_t>(nodes_[u].inst.op));
   }
 
   void release_execution_unit(std::int32_t node) {
@@ -805,7 +899,11 @@ class Run {
     if (g == Group::LocalRead || g == Group::LocalInc) {
       if (n.reg_held) {
         n.reg_held = false;
-        forward_token(node, n.held_reg);  // register value flows on
+        forward_token(node, n.held_reg,  // register value flows on
+                      fr_ != nullptr
+                          ? hold_edge(node, n.held_reg_edge,
+                                      obs::PathCategory::OperandWait)
+                          : kParentCurrent);
       }
     }
     if (g == Group::LocalWrite) {
@@ -814,7 +912,11 @@ class Run {
     }
     if (n.memory_held) {
       n.memory_held = false;
-      forward_token(node, n.held_memory);  // memory order established
+      forward_token(node, n.held_memory,  // memory order established
+                    fr_ != nullptr
+                        ? hold_edge(node, n.held_memory_edge,
+                                    obs::PathCategory::OperandWait)
+                        : kParentCurrent);
     }
     if (n.tail_held) {
       n.tail_held = false;
@@ -822,7 +924,11 @@ class Run {
         mx_->tail_hold_ticks.record(now_ - tail_hold_[u]);
         tail_hold_[u] = -1;
       }
-      forward_token(node, n.held_tail);
+      forward_token(node, n.held_tail,
+                    fr_ != nullptr
+                        ? hold_edge(node, n.held_tail_edge,
+                                    obs::PathCategory::TailHold)
+                        : kParentCurrent);
     }
   }
 
@@ -853,6 +959,14 @@ class Run {
       }
       completed_ = true;
       end_tick_ = now_ + svc_ticks;
+      // The exception retirement is the run's terminal edge: the GPP
+      // round trip [now_, end_tick_] caps the realized critical path.
+      if (fr_ != nullptr) {
+        fr_->set_terminal(fr_->record({now_, end_tick_, cur_edge_, node,
+                                       -1, -1,
+                                       obs::PathCategory::RingService,
+                                       0}));
+      }
       return;
     }
 
@@ -864,6 +978,8 @@ class Run {
       mark_fired(node);
       completed_ = true;
       end_tick_ = now_;
+      // The Return's own execution completion is the terminal edge.
+      if (fr_ != nullptr) fr_->set_terminal(cur_edge_);
       return;
     }
     if (g == Group::Call || (g == Group::Special && !is_switch(n.inst.op))) {
@@ -879,7 +995,7 @@ class Run {
       ev.kind = EvKind::ServiceDone;
       ev.node = node;
       ev.tick = now_ + svc_ticks;
-      schedule(ev);
+      schedule(ev, obs::PathCategory::RingService);
       return;
     }
     if (g == Group::MemRead) {
@@ -887,7 +1003,11 @@ class Run {
       fabric_.ring().record_request(net::RingService::MemoryRead);
       if (n.memory_held) {
         n.memory_held = false;
-        forward_token(node, n.held_memory);
+        forward_token(node, n.held_memory,
+                      fr_ != nullptr
+                          ? hold_edge(node, n.held_memory_edge,
+                                      obs::PathCategory::OperandWait)
+                          : kParentCurrent);
       }
       const std::int64_t svc_ticks =
           k_ * fabric_.ring().service_mesh_cycles(
@@ -899,7 +1019,7 @@ class Run {
       ev.kind = EvKind::ServiceDone;
       ev.node = node;
       ev.tick = now_ + svc_ticks;
-      schedule(ev);
+      schedule(ev, obs::PathCategory::RingService);
       return;
     }
     if (g == Group::MemWrite) {
@@ -965,10 +1085,24 @@ class Run {
       n.pass_through = true;
       n.route_to = target;
       std::int64_t idx = 0;
-      for (const Token& tok : n.buffered) {
-        send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
+      for (std::size_t bi = 0; bi < n.buffered.size(); ++bi) {
+        const Token& tok = n.buffered[bi];
+        std::int32_t parent = kParentCurrent;
+        if (fr_ != nullptr) {
+          // Buffered tokens waited from arrival to the branch decision:
+          // TAIL hold for the TAIL, operand wait for the rest.
+          parent = hold_edge(node,
+                             bi < n.buffered_edges.size()
+                                 ? n.buffered_edges[bi]
+                                 : -1,
+                             tok.cmd == Command::TailToken
+                                 ? obs::PathCategory::TailHold
+                                 : obs::PathCategory::OperandWait);
+        }
+        send_serial(node, target, tok, hop_ == 0 ? 0 : idx++, parent);
       }
       n.buffered.clear();
+      n.buffered_edges.clear();
       return;
     }
     // Backward transfer: hold everything until the TAIL arrives (§6.3).
@@ -986,12 +1120,27 @@ class Run {
     const std::int32_t target = n.decided_target;
     flush_scratch_.clear();
     flush_scratch_.swap(n.buffered);
+    if (fr_ != nullptr) {
+      flush_edge_scratch_.clear();
+      flush_edge_scratch_.swap(n.buffered_edges);
+    }
     for (std::int32_t i = target; i <= node; ++i) {
       reset_node(i);
     }
     std::int64_t idx = 0;
-    for (const Token& tok : flush_scratch_) {
-      send_serial(node, target, tok, hop_ == 0 ? 0 : idx++);
+    for (std::size_t bi = 0; bi < flush_scratch_.size(); ++bi) {
+      const Token& tok = flush_scratch_[bi];
+      std::int32_t parent = kParentCurrent;
+      if (fr_ != nullptr) {
+        parent = hold_edge(node,
+                           bi < flush_edge_scratch_.size()
+                               ? flush_edge_scratch_[bi]
+                               : -1,
+                           tok.cmd == Command::TailToken
+                               ? obs::PathCategory::TailHold
+                               : obs::PathCategory::OperandWait);
+      }
+      send_serial(node, target, tok, hop_ == 0 ? 0 : idx++, parent);
     }
   }
 
@@ -1009,6 +1158,7 @@ class Run {
   const bool trace_;
   obs::MetricsRegistry* const mx_;  // null = telemetry disabled (no-op)
   obs::EventTracer* const tr_;
+  obs::FlightRecorder* const fr_;   // null = no dependency-edge capture
   // Workspace-backed storage: all references point into the engine's
   // detail::EngineWorkspace and are re-initialized by execute().
   const std::vector<std::uint8_t>& branch_kinds_;
@@ -1032,12 +1182,17 @@ class Run {
   std::vector<std::vector<Event>>& buckets_;
   std::vector<Event>& overflow_;
   std::vector<Token>& flush_scratch_;
+  std::vector<std::int32_t>& flush_edge_scratch_;
+  std::vector<std::int32_t>& node_ready_edge_;
   std::int64_t bucket_count_ = 0;
   std::int64_t bucket_mask_ = 0;
   std::int64_t cal_cur_ = 0;     // calendar's current tick cursor
   std::int64_t live_events_ = 0; // undrained events (buckets + overflow)
   std::int64_t seq_ = 0;
   std::int64_t now_ = 0;
+  // Edge id of the event currently being dispatched (flight recorder
+  // only) — the default parent for everything the handler schedules.
+  std::int32_t cur_edge_ = -1;
   bool completed_ = false;
   bool exception_raised_ = false;
   std::int32_t exception_fire_count_ = 0;

@@ -22,6 +22,7 @@
 namespace javaflow::obs {
 struct MetricsRegistry;
 class EventTracer;
+class FlightRecorder;
 }  // namespace javaflow::obs
 
 namespace javaflow::sim {
@@ -104,6 +105,12 @@ struct EngineOptions {
   // other thread while a run is in flight (engines are lane-private).
   obs::MetricsRegistry* metrics = nullptr;
   obs::EventTracer* tracer = nullptr;
+  // Critical-path flight recorder (src/obs/critpath.hpp): captures one
+  // dependency edge per scheduled event so attribute() can reconstruct
+  // the realized critical path. Same null-guarded contract as the two
+  // pointers above; the recorder is reset by the engine at the start of
+  // every run, so its contents always describe the latest run.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // An Engine carries only its configuration plus a private scratch

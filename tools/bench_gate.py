@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Bench-regression gate over a committed throughput history.
 
-Usage: bench_gate.py BENCH_sweep.json bench/BENCH_history.json [--no-append]
+Usage: bench_gate.py BENCH_sweep.json bench/BENCH_history.json
+                     [--no-append] [--snapshot FILE.jfs]
 
 Replaces the old hardcoded 4,000 cells/s constant (docs/PERF.md "CI
 regression gate"): the floor is now derived from the committed history —
@@ -22,11 +23,18 @@ changes without hand-editing a constant. Commit the updated history when
 a PR intentionally shifts performance. --no-append gates without
 recording (e.g. exploratory local runs).
 
+--snapshot FILE.jfs records the run-snapshot's integrity digest (the
+trailing FNV-64 checksum of the .jfs file, as printed by
+`javaflow_explain --digest`) alongside cells/s in the appended history
+entry, tying each throughput point to the exact simulation results that
+produced it.
+
 Exit codes: 0 pass, 1 regression/divergence, 2 usage or malformed input.
 """
 
 import json
 import statistics
+import struct
 import sys
 
 HISTORY_WINDOW = 5
@@ -39,9 +47,33 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
+def snapshot_digest(path: str) -> str:
+    """Trailing FNV-64 checksum of a .jfs snapshot, as 16 hex digits."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < 8:
+        raise ValueError(f"{path}: too short to be a snapshot")
+    return format(struct.unpack("<Q", data[-8:])[0], "016x")
+
+
 def main(argv: list[str]) -> int:
-    args = [a for a in argv[1:] if a != "--no-append"]
-    append = "--no-append" not in argv[1:]
+    rest = argv[1:]
+    append = "--no-append" not in rest
+    snapshot_path = None
+    args = []
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--no-append":
+            pass
+        elif rest[i] == "--snapshot":
+            i += 1
+            if i >= len(rest):
+                print(__doc__, file=sys.stderr)
+                return 2
+            snapshot_path = rest[i]
+        else:
+            args.append(rest[i])
+        i += 1
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -84,20 +116,30 @@ def main(argv: list[str]) -> int:
     if got < floor:
         fail(f"serial sweep regressed: {got:.1f} < {floor:.1f} cells/s")
 
+    digest = None
+    if snapshot_path is not None:
+        try:
+            digest = snapshot_digest(snapshot_path)
+        except (OSError, ValueError) as e:
+            print(f"bench_gate: {e}", file=sys.stderr)
+            return 2
+        print(f"bench_gate: snapshot digest {digest}")
+
     if append:
         meta = bench.get("metadata", {})
-        history.append(
-            {
-                "git_sha": meta.get("git_sha", "unknown"),
-                "timestamp_utc": meta.get("timestamp_utc", "unknown"),
-                "stride": bench.get("stride", 0),
-                "scheduler": bench.get("scheduler", "unknown"),
-                "serial_cells_per_second": got,
-                "parallel_cells_per_second": bench.get(
-                    "parallel_cells_per_second", 0.0
-                ),
-            }
-        )
+        entry = {
+            "git_sha": meta.get("git_sha", "unknown"),
+            "timestamp_utc": meta.get("timestamp_utc", "unknown"),
+            "stride": bench.get("stride", 0),
+            "scheduler": bench.get("scheduler", "unknown"),
+            "serial_cells_per_second": got,
+            "parallel_cells_per_second": bench.get(
+                "parallel_cells_per_second", 0.0
+            ),
+        }
+        if digest is not None:
+            entry["snapshot_digest"] = digest
+        history.append(entry)
         history = history[-HISTORY_CAP:]
         with open(history_path, "w") as f:
             json.dump(history, f, indent=2)

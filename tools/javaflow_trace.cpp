@@ -7,13 +7,18 @@
 //
 // Usage:
 //   javaflow_trace <method> [--config <name>] [--scenario bp1|bp2]
-//                  [--out <file>] [--metrics <file>] [--list [substr]]
+//                  [--out <file>] [--metrics <file>] [--top <n>]
+//                  [--list [substr]]
 //
 // Defaults: --config Compact2, --scenario bp1, --out - (stdout).
+// --top N prints the N hottest fabric nodes, mesh links, and opcodes
+// (from the run's MetricsRegistry) to stderr, keeping stdout pure JSON.
 // The method name must match a corpus method exactly; near-misses are
 // suggested. Exit codes: 0 ok, 1 bad usage / unknown method, 2 the
 // method does not fit or did not complete on the chosen configuration.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,7 +39,7 @@ using javaflow::bytecode::Method;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <method> [--config <name>] [--scenario bp1|bp2]\n"
-               "       [--out <file>] [--metrics <file>]\n"
+               "       [--out <file>] [--metrics <file>] [--top <n>]\n"
                "       %s --list [substring]\n",
                argv0, argv0);
   return 1;
@@ -64,11 +69,60 @@ std::string node_label(const Method& m, std::size_t i) {
          std::string(javaflow::bytecode::op_name(m.code[i].op));
 }
 
+// --top N: hottest fabric nodes / mesh links / opcodes by count, ties
+// broken by key so the listing is deterministic.
+void print_top(const javaflow::obs::MetricsRegistry& metrics,
+               std::size_t top_n) {
+  using Entry = std::pair<std::uint64_t, std::string>;
+  auto print = [&](const char* title, std::vector<Entry> entries) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.first != b.first ? a.first > b.first
+                                                 : a.second < b.second;
+                     });
+    if (entries.size() > top_n) entries.resize(top_n);
+    std::fprintf(stderr, "top %s:\n", title);
+    for (const Entry& e : entries) {
+      std::fprintf(stderr, "  %10llu  %s\n",
+                   static_cast<unsigned long long>(e.first),
+                   e.second.c_str());
+    }
+  };
+
+  std::vector<Entry> nodes;
+  for (std::size_t slot = 0; slot < metrics.firings_by_node.size(); ++slot) {
+    if (metrics.firings_by_node[slot] == 0) continue;
+    nodes.emplace_back(metrics.firings_by_node[slot],
+                       "slot " + std::to_string(slot));
+  }
+  print("nodes (firings)", std::move(nodes));
+
+  std::vector<Entry> links;
+  for (const auto& [key, load] : metrics.mesh_link_load) {
+    links.emplace_back(
+        load, "slot " + std::to_string(key.first) + " " +
+                  std::string(javaflow::obs::link_dir_name(
+                      static_cast<javaflow::obs::LinkDir>(key.second))));
+  }
+  print("mesh links (traversals)", std::move(links));
+
+  std::vector<Entry> opcodes;
+  for (std::size_t op = 0; op < metrics.firings_by_opcode.size(); ++op) {
+    if (metrics.firings_by_opcode[op] == 0) continue;
+    opcodes.emplace_back(
+        metrics.firings_by_opcode[op],
+        std::string(javaflow::bytecode::op_name(
+            static_cast<javaflow::bytecode::Op>(op))));
+  }
+  print("opcodes (firings)", std::move(opcodes));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string method_name, config_name = "Compact2", scenario_name = "bp1";
   std::string out_path = "-", metrics_path;
+  long top_n = 0;
   bool list = false;
   std::string list_filter;
 
@@ -96,6 +150,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       metrics_path = v;
+    } else if (arg == "--top") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      top_n = std::strtol(v, nullptr, 10);
+      if (top_n <= 0) {
+        std::fprintf(stderr, "--top expects a positive count\n");
+        return 1;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
@@ -189,6 +251,8 @@ int main(int argc, char** argv) {
   }
   javaflow::obs::write_chrome_trace(*os, tracer, meta);
   os->flush();
+
+  if (top_n > 0) print_top(metrics, static_cast<std::size_t>(top_n));
 
   if (!metrics_path.empty()) {
     std::ofstream mf(metrics_path);
