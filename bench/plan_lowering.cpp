@@ -1,0 +1,184 @@
+// Execution-plan lowering benchmark (docs/PERF.md "Execution plans"):
+// isolates the engine-kernel effect of pre-lowered ExecPlans from the
+// rest of the sweep. Both legs run the identical cell set — every
+// stride-selected method × Table 15 config × BP1/BP2 — on warm,
+// lane-style engines:
+//
+//   legacy: Engine::run(m, graph, placement) with plans forced Off;
+//   plan:   plans lowered once per (method, config) up front (timed
+//           separately as build_seconds), then Engine::run(m, plan).
+//
+// Every cell's RunMetrics must match bit-for-bit between the legs — a
+// mismatch fails the binary, so the speedup number can never come from
+// diverging simulations. Emits BENCH_plan.json next to the binary's
+// working directory.
+//
+// Knobs: JAVAFLOW_BENCH_STRIDE / JAVAFLOW_BENCH_FILTER subset the
+// corpus (same semantics as sweep_speed).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/loader.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/engine.hpp"
+#include "sim/plan.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+using javaflow::sim::BranchPredictor;
+
+constexpr BranchPredictor::Scenario kScenarios[] = {
+    BranchPredictor::Scenario::BP1, BranchPredictor::Scenario::BP2};
+
+struct Prepared {
+  const javaflow::bytecode::Method* method = nullptr;
+  javaflow::fabric::DataflowGraph graph;
+  std::vector<javaflow::fabric::Placement> placements;  // one per config
+  std::vector<javaflow::sim::ExecPlan> plans;           // one per config
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  javaflow::bench::Context ctx;
+  const int stride = javaflow::bench::env_stride();
+  const std::string filter = javaflow::bench::env_filter();
+  const std::vector<javaflow::sim::MachineConfig> configs =
+      javaflow::sim::table15_configs();
+
+  // Static structures are shared inputs, built once outside both timed
+  // legs — this benchmark measures the engine kernel, not graph
+  // construction or placement.
+  std::vector<Prepared> prep;
+  {
+    int seen = 0;
+    for (const javaflow::bytecode::Method& m : ctx.corpus.program.methods) {
+      if (!filter.empty() && m.name.find(filter) == std::string::npos) {
+        continue;
+      }
+      if (seen++ % stride != 0) continue;
+      Prepared p;
+      p.method = &m;
+      p.graph =
+          javaflow::fabric::build_dataflow_graph(m, ctx.corpus.program.pool);
+      p.placements.reserve(configs.size());
+      for (const javaflow::sim::MachineConfig& cfg : configs) {
+        const javaflow::fabric::Fabric fab(cfg.fabric_options());
+        p.placements.push_back(javaflow::fabric::load_method(fab, m));
+      }
+      prep.push_back(std::move(p));
+    }
+  }
+  const std::size_t cells = prep.size() * configs.size() * 2;
+  std::printf("plan_lowering: stride=%d, %zu methods x %zu configs x 2 "
+              "scenarios = %zu cells\n",
+              stride, prep.size(), configs.size(), cells);
+
+  // Lane-style warm engines, one per config per leg, so workspace reuse
+  // matches how run_sweep drives the engine.
+  auto make_engines = [&](javaflow::sim::PlanMode plan_mode) {
+    std::vector<javaflow::sim::Engine> engines;
+    engines.reserve(configs.size());
+    for (const javaflow::sim::MachineConfig& cfg : configs) {
+      javaflow::sim::EngineOptions eo;
+      eo.plan = plan_mode;
+      engines.emplace_back(cfg, eo);
+    }
+    return engines;
+  };
+
+  // ---- legacy leg: per-run graph/placement walk ----
+  std::vector<javaflow::sim::RunMetrics> legacy_metrics;
+  legacy_metrics.reserve(cells);
+  auto legacy_engines = make_engines(javaflow::sim::PlanMode::Off);
+  const auto legacy_t0 = Clock::now();
+  for (const Prepared& p : prep) {
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      for (const BranchPredictor::Scenario sc : kScenarios) {
+        BranchPredictor predictor(sc);
+        legacy_metrics.push_back(legacy_engines[ci].run(
+            *p.method, p.graph, p.placements[ci], predictor));
+      }
+    }
+  }
+  const double legacy_s = seconds_since(legacy_t0);
+
+  // ---- plan lowering (timed separately) ----
+  javaflow::sim::ExecPlanBuilder builder;
+  const auto build_t0 = Clock::now();
+  for (Prepared& p : prep) {
+    p.plans.reserve(configs.size());
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      p.plans.push_back(builder.build(*p.method, p.graph,
+                                      &p.placements[ci], configs[ci]));
+    }
+  }
+  const double build_s = seconds_since(build_t0);
+
+  // ---- plan leg: pre-lowered fast path ----
+  std::vector<javaflow::sim::RunMetrics> plan_metrics;
+  plan_metrics.reserve(cells);
+  auto plan_engines = make_engines(javaflow::sim::PlanMode::On);
+  const auto plan_t0 = Clock::now();
+  for (const Prepared& p : prep) {
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      for (const BranchPredictor::Scenario sc : kScenarios) {
+        BranchPredictor predictor(sc);
+        plan_metrics.push_back(
+            plan_engines[ci].run(*p.method, p.plans[ci], predictor));
+      }
+    }
+  }
+  const double plan_s = seconds_since(plan_t0);
+
+  const bool identical = legacy_metrics == plan_metrics;
+  const double legacy_rate =
+      legacy_s > 0.0 ? static_cast<double>(cells) / legacy_s : 0.0;
+  const double plan_rate =
+      plan_s > 0.0 ? static_cast<double>(cells) / plan_s : 0.0;
+  const double speedup = plan_s > 0.0 ? legacy_s / plan_s : 0.0;
+
+  std::printf("  legacy: %.3f s (%.1f cells/s)\n", legacy_s, legacy_rate);
+  std::printf("  plan:   %.3f s (%.1f cells/s), lowering %.3f s\n", plan_s,
+              plan_rate, build_s);
+  std::printf("  speedup: %.2fx (plan build excluded; %.2fx amortized)\n",
+              speedup,
+              plan_s + build_s > 0.0 ? legacy_s / (plan_s + build_s) : 0.0);
+  std::printf("  identical RunMetrics: %s\n", identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_plan.json");
+  json << "{\n"
+       << "  \"benchmark\": \"plan_lowering\",\n"
+       << "  \"metadata\": {\n"
+       << "    \"git_sha\": \"" << javaflow::bench::git_sha() << "\",\n"
+       << "    \"timestamp_utc\": \""
+       << javaflow::bench::iso_timestamp_utc() << "\"\n"
+       << "  },\n"
+       << "  \"stride\": " << stride << ",\n"
+       << "  \"cells\": " << cells << ",\n"
+       << "  \"legacy_seconds\": " << legacy_s << ",\n"
+       << "  \"plan_seconds\": " << plan_s << ",\n"
+       << "  \"plan_build_seconds\": " << build_s << ",\n"
+       << "  \"legacy_cells_per_second\": " << legacy_rate << ",\n"
+       << "  \"plan_cells_per_second\": " << plan_rate << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_plan.json\n");
+
+  // Diverging metrics would make the speedup meaningless — fail loudly.
+  return identical ? 0 : 1;
+}

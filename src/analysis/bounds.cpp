@@ -13,17 +13,9 @@ using bytecode::Group;
 using bytecode::Instruction;
 using bytecode::Method;
 using bytecode::Op;
-using fabric::Edge;
 
 bool is_switch(Op op) {
   return op == Op::tableswitch || op == Op::lookupswitch;
-}
-
-// Mirrors the engine's buffers_tokens: the node classes that hold the
-// serial token bundle until they fire (§6.3).
-bool buffers_tokens(const Instruction& inst) {
-  const Group g = inst.group();
-  return g == Group::ControlFlow || g == Group::Return || is_switch(inst.op);
 }
 
 std::int64_t sat_add(std::int64_t a, std::int64_t b) {
@@ -52,23 +44,6 @@ void branch_arms(const Method& m, std::int32_t v,
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-// Extra latency between "execution done" and the produced value leaving
-// on the mesh: MemRead values return from the ring, Call/Special results
-// come back from the GPP. Everything else sends at execution-done.
-std::int64_t produce_extra(const Instruction& inst, std::int64_t k,
-                           const net::RingLatencies& rl) {
-  switch (inst.group()) {
-    case Group::MemRead:
-      return k * rl.memory_read;
-    case Group::Call:
-      return k * rl.gpp_service;
-    case Group::Special:
-      return is_switch(inst.op) ? 0 : k * rl.gpp_service;
-    default:
-      return 0;
-  }
-}
-
 }  // namespace
 
 std::int32_t MethodBounds::token_hi_at_phys(std::int32_t phys) const noexcept {
@@ -80,31 +55,26 @@ std::int32_t MethodBounds::token_hi_at_phys(std::int32_t phys) const noexcept {
 }
 
 MethodBounds compute_bounds(const bytecode::Method& m,
-                            const fabric::DataflowGraph& graph,
-                            const fabric::Fabric& fabric,
-                            const fabric::Placement& placement,
-                            const sim::MachineConfig& config) {
+                            const sim::ExecPlan& plan) {
   MethodBounds out;
-  const std::size_t n = m.code.size();
-  if (!placement.fits || n == 0) return out;
+  const auto n = static_cast<std::size_t>(plan.node_count());
+  if (!plan.fits() || n == 0) return out;
 
-  const std::int64_t k = config.serial_per_mesh;
-  const std::int64_t hop = config.collapsed() ? 0 : 1;
-  const std::int32_t idus = std::max(config.idus_per_node, 1);
-  const net::RingLatencies& rl = config.ring;
-
-  std::vector<std::int32_t> phys(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    phys[i] = placement.slot(static_cast<std::int32_t>(i)) / idus;
-  }
-  // Minimum serial transit between two placed nodes; mirrors
-  // Engine::serial_delay (one tick per physical hop, floor 1, free when
-  // collapsed).
-  auto serial_delay = [&](std::int32_t from, std::int32_t to) {
-    const std::int32_t a = phys[static_cast<std::size_t>(from)];
-    const std::int32_t b = phys[static_cast<std::size_t>(to)];
-    return hop * std::max<std::int64_t>(a < b ? b - a : a - b, 1);
-  };
+  // Every cost the fixpoint weights with is pre-lowered in the plan:
+  // exec_cost_ticks is Table 17 in ticks, produce_extra_ticks the ring
+  // service surcharge, PlanOperand::delivery_ticks the per-edge mesh
+  // transit, serial_ticks_between the engine's serial hop model (floor
+  // one hop, free when collapsed). Back edges were dropped at lowering,
+  // mirroring the "back edges never deliver" rule below.
+  const std::uint8_t* group = plan.group();
+  const std::uint8_t* flags = plan.flags();
+  const std::int32_t* pop_need = plan.pop_need();
+  const std::int32_t* exec_cost = plan.exec_cost_ticks();
+  const std::int32_t* extra = plan.produce_extra_ticks();
+  const std::int32_t* oper_begin = plan.operand_begin();
+  const sim::PlanOperand* opers = plan.operands();
+  const std::int32_t* phys = plan.phys();
+  const auto kind_of = [](std::uint8_t g) { return static_cast<Group>(g); };
 
   out.nodes.assign(n, NodeTiming{});
 
@@ -127,7 +97,7 @@ MethodBounds compute_bounds(const bytecode::Method& m,
   // fixpoint terminates because tick values only ever decrease, are
   // bounded below by 0, and the relaxation is monotone over a finite
   // set of integer-valued unknowns (docs/ANALYSIS.md "Termination").
-  out.nodes[0].head = hop * (phys[0] + 1);
+  out.nodes[0].head = plan.serial_ticks_between(-1, 0);
 
   std::vector<std::int32_t> arms;
   bool changed = true;
@@ -138,26 +108,23 @@ MethodBounds compute_bounds(const bytecode::Method& m,
     for (std::size_t v = 0; v < n; ++v) {
       NodeTiming& t = out.nodes[v];
       if (t.head >= kNoBound) continue;
-      const Instruction& inst = m.code[v];
 
       std::int64_t fire = t.head;
-      for (std::uint8_t side = 1; side <= inst.pop; ++side) {
+      for (std::int32_t side = 1; side <= pop_need[v]; ++side) {
         std::int64_t best = kNoBound;
-        for (const Edge& e :
-             graph.producers_of(static_cast<std::int32_t>(v), side)) {
-          if (e.back) continue;
-          const auto p = static_cast<std::size_t>(e.producer);
-          const std::int64_t ready = sat_add(
-              sat_add(out.nodes[p].done,
-                      produce_extra(m.code[p], k, rl)),
-              k * fabric.mesh_cycles(phys[p],
-                                     phys[static_cast<std::size_t>(v)]));
+        for (std::int32_t oi = oper_begin[v]; oi < oper_begin[v + 1];
+             ++oi) {
+          const sim::PlanOperand& o = opers[oi];
+          if (o.side != side) continue;
+          const auto p = static_cast<std::size_t>(o.producer);
+          const std::int64_t ready =
+              sat_add(sat_add(out.nodes[p].done, extra[p]),
+                      o.delivery_ticks);
           best = std::min(best, ready);
         }
         fire = std::max(fire, best);
       }
-      const std::int64_t done = sat_add(
-          fire, k * bytecode::execution_mesh_cycles(inst.group()));
+      const std::int64_t done = sat_add(fire, exec_cost[v]);
       if (fire < t.fire || done < t.done) {
         t.fire = std::min(t.fire, fire);
         t.done = std::min(t.done, done);
@@ -173,43 +140,46 @@ MethodBounds compute_bounds(const bytecode::Method& m,
           changed = true;
         }
       };
-      if (!buffers_tokens(inst)) {
-        relax_head(static_cast<std::int32_t>(v) + 1,
-                   sat_add(t.head,
-                           v + 1 < n
-                               ? serial_delay(static_cast<std::int32_t>(v),
-                                              static_cast<std::int32_t>(v) + 1)
-                               : 0));
+      if ((flags[v] & sim::kPlanBuffers) == 0) {
+        relax_head(
+            static_cast<std::int32_t>(v) + 1,
+            sat_add(t.head,
+                    v + 1 < n
+                        ? plan.serial_ticks_between(
+                              static_cast<std::int32_t>(v),
+                              static_cast<std::int32_t>(v) + 1)
+                        : 0));
       } else if (t.done < kNoBound) {
         branch_arms(m, static_cast<std::int32_t>(v), arms);
         for (std::int32_t to : arms) {
           if (to < 0 || static_cast<std::size_t>(to) >= n) continue;
-          relax_head(to, sat_add(t.done,
-                                 serial_delay(static_cast<std::int32_t>(v),
-                                              to)));
+          relax_head(to,
+                     sat_add(t.done,
+                             plan.serial_ticks_between(
+                                 static_cast<std::int32_t>(v), to)));
         }
       }
     }
   }
 
   for (std::size_t v = 0; v < n; ++v) {
-    if (m.code[v].group() == Group::Return) {
+    if (kind_of(group[v]) == Group::Return) {
       out.lower_bound_ticks =
           std::min(out.lower_bound_ticks, out.nodes[v].done);
     }
   }
 
   // ---- resources ---------------------------------------------------------
+  // Forward in-degree per consumer is the node's operand CSR span;
+  // forward out-degree is the plan's fan-out lane (both views already
+  // exclude back edges).
   out.operand_hi.assign(n, 0);
   out.forward_fanout.assign(n, 0);
-  for (const Edge& e : graph.edges) {
-    if (e.back) continue;
-    ++out.operand_hi[static_cast<std::size_t>(e.consumer)];
-    ++out.forward_fanout[static_cast<std::size_t>(e.producer)];
-  }
+  const std::int32_t* fanout = plan.forward_fanout();
   for (std::size_t v = 0; v < n; ++v) {
-    out.max_forward_fanout =
-        std::max(out.max_forward_fanout, out.forward_fanout[v]);
+    out.operand_hi[v] = oper_begin[v + 1] - oper_begin[v];
+    out.forward_fanout[v] = fanout[v];
+    out.max_forward_fanout = std::max(out.max_forward_fanout, fanout[v]);
   }
 
   // Token-bundle buffering at control nodes. The bundle carries HEAD +
@@ -217,20 +187,20 @@ MethodBounds compute_bounds(const bytecode::Method& m,
   // can additionally put one transient duplicate register token in
   // flight (fresh value emitted while the stale token is still
   // traveling to its kill site — docs/ANALYSIS.md "Token conservation").
-  const std::int32_t writers = static_cast<std::int32_t>(
-      std::count_if(m.code.begin(), m.code.end(), [](const Instruction& i) {
-        return i.group() == Group::LocalWrite;
-      }));
-  const std::int32_t bundle_hi = 3 + m.max_locals + writers;
+  std::int32_t writers = 0;
   for (std::size_t v = 0; v < n; ++v) {
-    if (!buffers_tokens(m.code[v])) continue;
+    if (kind_of(group[v]) == Group::LocalWrite) ++writers;
+  }
+  const std::int32_t bundle_hi = 3 + plan.max_locals() + writers;
+  for (std::size_t v = 0; v < n; ++v) {
+    if ((flags[v] & sim::kPlanBuffers) == 0) continue;
     TokenBufferBound b;
     b.node = static_cast<std::int32_t>(v);
     b.phys = phys[v];
     if (out.nodes[v].head < kNoBound) {
       // HEAD is provably buffered while the node holds; a firing Return
       // has provably buffered TAIL as well (fire_ready demands it).
-      b.lo = m.code[v].group() == Group::Return &&
+      b.lo = kind_of(group[v]) == Group::Return &&
                      out.nodes[v].fire < kNoBound
                  ? 2
                  : 1;
@@ -241,6 +211,17 @@ MethodBounds compute_bounds(const bytecode::Method& m,
 
   out.valid = true;
   return out;
+}
+
+MethodBounds compute_bounds(const bytecode::Method& m,
+                            const fabric::DataflowGraph& graph,
+                            const fabric::Fabric& fabric,
+                            const fabric::Placement& placement,
+                            const sim::MachineConfig& config) {
+  (void)fabric;  // geometry is re-derived from `config` at lowering
+  sim::ExecPlanBuilder builder;
+  const sim::ExecPlan plan = builder.build(m, graph, &placement, config);
+  return compute_bounds(m, plan);
 }
 
 void lint_bounds(const bytecode::Method& m, const sim::MachineConfig& config,

@@ -86,9 +86,21 @@ struct MethodBounds {
   std::int32_t token_hi_at_phys(std::int32_t phys) const noexcept;
 };
 
-// Computes all bounds for one (method, config) pair. `graph` must be the
-// dataflow graph of `m` and `placement` a load of it onto `fabric` built
-// from `config`. Never executes anything.
+// Computes all bounds for one (method, config) pair from the method's
+// pre-lowered execution plan (docs/PERF.md "Execution plans"). The plan
+// already embeds the placement, the forward-edge producer lists, and
+// every engine cost the fixpoint weights with (Table 17 execution
+// ticks, ring service surcharges, per-edge mesh delivery ticks, serial
+// hop latency), so this is the primary implementation: the analyzer and
+// the engine read the same lowered image. `m` is still consulted for
+// the switch tables (branch arms) only. Never executes anything.
+MethodBounds compute_bounds(const bytecode::Method& m,
+                            const sim::ExecPlan& plan);
+
+// Convenience wrapper for callers holding the un-lowered pieces: lowers
+// (graph, placement, config) to a plan and delegates. `graph` must be
+// the dataflow graph of `m` and `placement` a load of it onto `fabric`
+// built from `config`.
 MethodBounds compute_bounds(const bytecode::Method& m,
                             const fabric::DataflowGraph& graph,
                             const fabric::Fabric& fabric,

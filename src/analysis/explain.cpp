@@ -46,13 +46,24 @@ Explanation explain_method(const bytecode::Method& m,
   const fabric::DataflowGraph graph = fabric::build_dataflow_graph(m, pool);
   const fabric::Fabric fab(config.fabric_options());
   const fabric::Placement placement = fabric::load_method(fab, m);
+  // One lowered image feeds everything below: the engine run, the mesh
+  // link decomposition of the attribution, and the static lower bound
+  // (docs/PERF.md "Execution plans"). JAVAFLOW_PLAN=off drops the run
+  // and the link decomposition back to the legacy graph/mesh walks for
+  // triage; the outputs are bit-identical either way.
+  const bool use_plan =
+      sim::resolve_plan_mode(sim::PlanMode::Auto) == sim::PlanMode::On;
+  sim::ExecPlanBuilder plan_builder;
+  const sim::ExecPlan plan =
+      plan_builder.build(m, graph, &placement, config);
 
   obs::FlightRecorder flight;
   sim::EngineOptions engine_options;
   engine_options.flight = &flight;
   sim::Engine engine(config, engine_options);
   sim::BranchPredictor predictor(scenario);
-  ex.metrics = engine.run(m, graph, placement, predictor);
+  ex.metrics = use_plan ? engine.run(m, plan, predictor)
+                        : engine.run(m, graph, placement, predictor);
 
   if (!ex.metrics.fits) {
     ex.error = "method does not fit on " + config.name;
@@ -71,6 +82,7 @@ Explanation explain_method(const bytecode::Method& m,
   ao.mesh_width = config.width;
   ao.collapsed = config.collapsed();
   ao.detail = true;
+  if (use_plan) ao.plan = &plan;
   ex.attribution = obs::attribute(flight, ao);
   if (!ex.attribution.valid) {
     ex.error = "attribution chain did not validate";
@@ -81,8 +93,7 @@ Explanation explain_method(const bytecode::Method& m,
     return ex;
   }
 
-  const MethodBounds bounds =
-      compute_bounds(m, graph, fab, placement, config);
+  const MethodBounds bounds = compute_bounds(m, plan);
   if (bounds.valid && bounds.lower_bound_ticks < kNoBound) {
     ex.lower_bound_ticks = bounds.lower_bound_ticks;
   }
@@ -259,7 +270,8 @@ obs::Snapshot build_snapshot(const workloads::Corpus& corpus,
       cell.category_ticks = sweep.attribution[i].category_ticks;
     }
     if (cell.fits && cell.completed && !cell.timed_out) {
-      const auto key = std::make_pair(s.method, s.config_index);
+      const std::pair<std::string, std::size_t> key(s.method,
+                                                    s.config_index);
       auto it = bound_memo.find(key);
       if (it == bound_memo.end()) {
         std::int64_t bound = -1;

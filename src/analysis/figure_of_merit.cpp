@@ -36,6 +36,7 @@ SweepProfile::Lane SweepProfile::total() const {
     t.verify_s += l.verify_s;
     t.resolve_s += l.resolve_s;
     t.place_s += l.place_s;
+    t.plan_s += l.plan_s;
     t.execute_s += l.execute_s;
     t.cache_s += l.cache_s;
     t.methods += l.methods;
@@ -190,6 +191,13 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     }
   }
 
+  // Pre-lowered execution plans (docs/PERF.md "Execution plans"): when
+  // the resolved plan mode is On, the precompute phase lowers each
+  // deduplicated method into one read-only ExecPlan per configuration,
+  // shared by every worker lane and both scenarios in the execute phase.
+  const bool use_plans =
+      sim::resolve_plan_mode(options.engine.plan) == sim::PlanMode::On;
+
   // Everything a worker lane owns privately: engines (whose workspaces
   // amortize per-run allocations across the lane's methods), fabrics for
   // the placement phase, a telemetry registry, cache scratch buffers,
@@ -209,11 +217,29 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     // cell's category vector is extracted right after the run.
     obs::FlightRecorder flight;
     SweepProfile::Lane prof;
-    // Result-cache scratch, reused across the lane's methods.
-    cache::MethodRecord record;
-    std::vector<const cache::CellRecord*> cell_hits;
+    // Plan-lowering scratch (route/edge staging grows monotonically) and
+    // the lane's name interner: each method's cells share one heap
+    // string per name instead of twelve copies.
+    sim::ExecPlanBuilder plan_builder;
+    util::Interner intern;
     std::size_t stored_records = 0;
     std::size_t verify_mismatch_cells = 0;
+  };
+
+  // Per-work-item precompute handed from the prepare phase to the
+  // execute phase. Built by whichever lane draws the item in phase A,
+  // read (possibly by a DIFFERENT lane) in phase B — the thread-pool
+  // barrier between the phases orders the hand-off, and phase B treats
+  // everything here as read-only except the cache record upsert.
+  struct Precomp {
+    bool have_record = false;
+    std::size_t cached_cells = 0;
+    bool full_hit = false;  // every cell served from cache (not verify)
+    std::vector<const cache::CellRecord*> cell_hits;
+    cache::MethodRecord record;
+    fabric::DataflowGraph graph;
+    std::vector<fabric::Placement> placements;
+    std::vector<sim::ExecPlan> plans;  // one per config when plans are on
   };
 
   auto make_lane = [&] {
@@ -283,13 +309,15 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     std::fflush(stderr);
   };
 
-  // One task per (deduplicated) method. A full cache hit fills every
-  // cell from the record and skips resolve/place/execute entirely;
-  // otherwise the dataflow graph and static counts are built once,
-  // placements are computed once per configuration, then every
-  // config × scenario cell runs on this lane's engines.
+  // Phase A, one task per (deduplicated) method: probe the cache, and
+  // for anything not fully served, build the dataflow graph, the
+  // per-config placements, and (plan mode On) the per-config execution
+  // plans. A full cache hit builds the static structures only when a
+  // static-check mode (lint / bounds) needs them — never the plans, so
+  // the warm-cache fast path stays plan-free.
   const bool profile = options.profile;
-  auto run_method = [&](std::size_t pi, LaneState& lane) {
+  std::vector<std::unique_ptr<Precomp>> pre(work.size());
+  auto prepare_method = [&](std::size_t wi, LaneState& lane) {
     auto t = profile ? Clock::now() : Clock::time_point{};
     auto lap = [&](double& acc) {
       if (!profile) return;
@@ -298,115 +326,136 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       t = now;
     };
 
+    const std::size_t pi = work[wi];
     const bytecode::Method& m = *methods[picks[pi]];
-    const bool is_hot = hot.contains(m.name);
-    SweepSample* out = sweep.samples.data() + pi * cells_per_method;
+    pre[wi] = std::make_unique<Precomp>();
+    Precomp& p = *pre[wi];
 
     // ---- cache probe ----
-    bool have_record = false;
-    std::size_t cached_cells = 0;
     if (store.has_value()) {
-      lane.cell_hits.assign(cells_per_method, nullptr);
-      have_record =
+      p.cell_hits.assign(cells_per_method, nullptr);
+      p.have_record =
           store->load(cache::record_key(body_hash[pi], pool_hash),
-                      cache::record_fingerprint(), lane.record);
-      if (have_record) {
+                      cache::record_fingerprint(), p.record);
+      if (p.have_record) {
         for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
           for (std::size_t si = 0; si < n_scenarios; ++si) {
             const cache::Hash128 key = cache::cell_key(
                 body_hash[pi], pool_hash, config_hash[ci], engine_hash,
                 options.scenarios[si]);
-            for (const cache::CellRecord& cell : lane.record.cells) {
+            for (const cache::CellRecord& cell : p.record.cells) {
               if (cell.key == key) {
-                lane.cell_hits[ci * n_scenarios + si] = &cell;
-                ++cached_cells;
+                p.cell_hits[ci * n_scenarios + si] = &cell;
+                ++p.cached_cells;
                 break;
               }
             }
           }
         }
       }
+      p.full_hit = p.cached_cells == cells_per_method &&
+                   mode != cache::CacheMode::Verify;
       lap(lane.prof.cache_s);
+    }
 
-      // Full hit outside verify mode: serve every cell from the record.
-      // (Lint and bounds debug modes still build the graph + placements —
-      // they are static checks — but execution stays skipped; bounds can
-      // then only assert the ticks direction, since no registry ran.)
-      if (cached_cells == cells_per_method &&
-          mode != cache::CacheMode::Verify) {
-        if (options.lint || options.check_bounds) {
-          const fabric::DataflowGraph graph =
-              fabric::build_dataflow_graph(m, pool);
-          lap(lane.prof.resolve_s);
-          std::vector<fabric::Placement> placements;
-          placements.reserve(sweep.configs.size());
-          for (const fabric::Fabric& f : lane.fabrics) {
-            placements.push_back(fabric::load_method(f, m));
-          }
-          lap(lane.prof.place_s);
-          if (options.lint) {
-            const bytecode::VerifyResult vr = bytecode::verify(m, pool);
-            lint_graph(m, pool, vr, graph, options.lint_options,
-                       lint_reports[pi]);
-            for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
-              lint_placement(m, lane.fabrics[ci], placements[ci], vr,
-                             options.lint_options, lint_reports[pi]);
-            }
-          }
-          if (options.check_bounds) {
-            for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
-              const MethodBounds bounds =
-                  compute_bounds(m, graph, lane.fabrics[ci],
-                                 placements[ci], sweep.configs[ci]);
-              for (std::size_t si = 0; si < n_scenarios; ++si) {
-                check_metrics_against_bounds(
-                    m.name, sweep.configs[ci].name,
-                    sweep_scenario_name(options.scenarios[si]),
-                    lane.cell_hits[ci * n_scenarios + si]->metrics,
-                    nullptr, bounds, lint_reports[pi]);
-              }
-            }
-          }
-          lap(lane.prof.verify_s);
-        }
-        for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
-          for (std::size_t si = 0; si < n_scenarios; ++si) {
-            const cache::CellRecord& cell =
-                *lane.cell_hits[ci * n_scenarios + si];
-            SweepSample& sample = out[ci * n_scenarios + si];
-            sample.method = m.name;
-            sample.benchmark = m.benchmark;
-            sample.config_index = ci;
-            sample.scenario = options.scenarios[si];
-            sample.static_insts = cell.static_insts;
-            sample.back_jumps = cell.back_jumps;
-            sample.is_hot = is_hot;
-            sample.metrics = cell.metrics;
-          }
-        }
-        lap(lane.prof.cache_s);
-        lane.prof.cache_hit_cells += cells_per_method;
-        hb_hit_cells.fetch_add(cells_per_method,
-                               std::memory_order_relaxed);
-        ++lane.prof.methods;
-        lane.prof.cells += cells_per_method;
-        heartbeat();
-        return;
+    const bool need_static =
+        !p.full_hit || options.lint || options.check_bounds;
+    if (!need_static) return;
+    p.graph = fabric::build_dataflow_graph(m, pool);
+    lap(lane.prof.resolve_s);
+    p.placements.reserve(sweep.configs.size());
+    for (const fabric::Fabric& f : lane.fabrics) {
+      p.placements.push_back(fabric::load_method(f, m));
+    }
+    lap(lane.prof.place_s);
+    if (use_plans && !p.full_hit) {
+      p.plans.reserve(sweep.configs.size());
+      for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+        p.plans.push_back(lane.plan_builder.build(
+            m, p.graph, &p.placements[ci], sweep.configs[ci]));
       }
+      lap(lane.prof.plan_s);
+    }
+  };
+
+  // Phase B, one task per (deduplicated) method: serve full cache hits
+  // from the record, or run every config × scenario cell on this lane's
+  // engines — from the shared pre-lowered plan when one was built, via
+  // the legacy graph + placement walk otherwise. The item's precompute
+  // block is freed as soon as its cells are done.
+  auto run_method = [&](std::size_t wi, LaneState& lane) {
+    auto t = profile ? Clock::now() : Clock::time_point{};
+    auto lap = [&](double& acc) {
+      if (!profile) return;
+      const auto now = Clock::now();
+      acc += std::chrono::duration<double>(now - t).count();
+      t = now;
+    };
+
+    const std::size_t pi = work[wi];
+    const bytecode::Method& m = *methods[picks[pi]];
+    const bool is_hot = hot.contains(m.name);
+    const util::InternedString& mname = lane.intern.get(m.name);
+    const util::InternedString& bname = lane.intern.get(m.benchmark);
+    SweepSample* out = sweep.samples.data() + pi * cells_per_method;
+    Precomp& p = *pre[wi];
+
+    // Full hit outside verify mode: serve every cell from the record.
+    // (Lint and bounds debug modes still check the phase-A graph +
+    // placements — they are static checks — but execution stays
+    // skipped; bounds can then only assert the ticks direction, since
+    // no registry ran.)
+    if (p.full_hit) {
+      if (options.lint) {
+        const bytecode::VerifyResult vr = bytecode::verify(m, pool);
+        lint_graph(m, pool, vr, p.graph, options.lint_options,
+                   lint_reports[pi]);
+        for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
+          lint_placement(m, lane.fabrics[ci], p.placements[ci], vr,
+                         options.lint_options, lint_reports[pi]);
+        }
+      }
+      if (options.check_bounds) {
+        for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+          const MethodBounds bounds =
+              compute_bounds(m, p.graph, lane.fabrics[ci],
+                             p.placements[ci], sweep.configs[ci]);
+          for (std::size_t si = 0; si < n_scenarios; ++si) {
+            check_metrics_against_bounds(
+                m.name, sweep.configs[ci].name,
+                sweep_scenario_name(options.scenarios[si]),
+                p.cell_hits[ci * n_scenarios + si]->metrics,
+                nullptr, bounds, lint_reports[pi]);
+          }
+        }
+      }
+      lap(lane.prof.verify_s);
+      for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
+        for (std::size_t si = 0; si < n_scenarios; ++si) {
+          const cache::CellRecord& cell =
+              *p.cell_hits[ci * n_scenarios + si];
+          SweepSample& sample = out[ci * n_scenarios + si];
+          sample.method = mname;
+          sample.benchmark = bname;
+          sample.config_index = ci;
+          sample.scenario = options.scenarios[si];
+          sample.static_insts = cell.static_insts;
+          sample.back_jumps = cell.back_jumps;
+          sample.is_hot = is_hot;
+          sample.metrics = cell.metrics;
+        }
+      }
+      lap(lane.prof.cache_s);
+      lane.prof.cache_hit_cells += cells_per_method;
+      hb_hit_cells.fetch_add(cells_per_method, std::memory_order_relaxed);
+      ++lane.prof.methods;
+      lane.prof.cells += cells_per_method;
+      pre[wi].reset();
+      heartbeat();
+      return;
     }
 
     // ---- compute path ----
-    const fabric::DataflowGraph graph =
-        fabric::build_dataflow_graph(m, pool);
-    lap(lane.prof.resolve_s);
-
-    std::vector<fabric::Placement> placements;
-    placements.reserve(sweep.configs.size());
-    for (const fabric::Fabric& f : lane.fabrics) {
-      placements.push_back(fabric::load_method(f, m));
-    }
-    lap(lane.prof.place_s);
-
     std::int32_t back_jumps = 0;
     for (std::size_t i = 0; i < m.code.size(); ++i) {
       if (m.code[i].is_branch() &&
@@ -416,10 +465,10 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     }
     if (options.lint) {
       const bytecode::VerifyResult vr = bytecode::verify(m, pool);
-      lint_graph(m, pool, vr, graph, options.lint_options,
+      lint_graph(m, pool, vr, p.graph, options.lint_options,
                  lint_reports[pi]);
       for (std::size_t ci = 0; ci < lane.fabrics.size(); ++ci) {
-        lint_placement(m, lane.fabrics[ci], placements[ci], vr,
+        lint_placement(m, lane.fabrics[ci], p.placements[ci], vr,
                        options.lint_options, lint_reports[pi]);
       }
     }
@@ -427,8 +476,13 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     if (options.check_bounds) {
       bounds.reserve(sweep.configs.size());
       for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
-        bounds.push_back(compute_bounds(m, graph, lane.fabrics[ci],
-                                        placements[ci], sweep.configs[ci]));
+        // The analyzer reads the same lowered image the engine runs
+        // when plans are on; otherwise it lowers one on the spot.
+        bounds.push_back(
+            p.plans.empty()
+                ? compute_bounds(m, p.graph, lane.fabrics[ci],
+                                 p.placements[ci], sweep.configs[ci])
+                : compute_bounds(m, p.plans[ci]));
       }
     }
     lap(lane.prof.verify_s);
@@ -437,8 +491,8 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       for (std::size_t si = 0; si < n_scenarios; ++si) {
         sim::BranchPredictor predictor(options.scenarios[si]);
         SweepSample& sample = out[ci * n_scenarios + si];
-        sample.method = m.name;
-        sample.benchmark = m.benchmark;
+        sample.method = mname;
+        sample.benchmark = bname;
         sample.config_index = ci;
         sample.scenario = options.scenarios[si];
         sample.static_insts = static_cast<std::int32_t>(m.code.size());
@@ -446,7 +500,10 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         sample.is_hot = is_hot;
         if (options.check_bounds) lane.bounds_reg = obs::MetricsRegistry{};
         sample.metrics =
-            lane.engines[ci].run(m, graph, placements[ci], predictor);
+            p.plans.empty()
+                ? lane.engines[ci].run(m, p.graph, p.placements[ci],
+                                       predictor)
+                : lane.engines[ci].run(m, p.plans[ci], predictor);
         if (options.attribution) {
           obs::AttributeOptions ao;
           ao.mesh_width = sweep.configs[ci].width;
@@ -480,7 +537,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       bool verify_clean = true;
       if (mode == cache::CacheMode::Verify) {
         for (std::size_t idx = 0; idx < cells_per_method; ++idx) {
-          const cache::CellRecord* cell = lane.cell_hits[idx];
+          const cache::CellRecord* cell = p.cell_hits[idx];
           if (cell == nullptr) continue;
           const SweepSample& fresh = out[idx];
           if (cell->metrics != fresh.metrics ||
@@ -497,10 +554,10 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
                 static_cast<int>(options.scenarios[idx % n_scenarios]));
           }
         }
-        lane.prof.cache_hit_cells += cached_cells;
-        lane.prof.cache_miss_cells += cells_per_method - cached_cells;
-        hb_hit_cells.fetch_add(cached_cells, std::memory_order_relaxed);
-        hb_miss_cells.fetch_add(cells_per_method - cached_cells,
+        lane.prof.cache_hit_cells += p.cached_cells;
+        lane.prof.cache_miss_cells += cells_per_method - p.cached_cells;
+        hb_hit_cells.fetch_add(p.cached_cells, std::memory_order_relaxed);
+        hb_miss_cells.fetch_add(cells_per_method - p.cached_cells,
                                 std::memory_order_relaxed);
       } else {
         lane.prof.cache_miss_cells += cells_per_method;
@@ -512,7 +569,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
       // skipping the save keeps repeated verify runs read-only.
       const bool verify_dirty =
           mode == cache::CacheMode::Verify &&
-          (!verify_clean || cached_cells != cells_per_method);
+          (!verify_clean || p.cached_cells != cells_per_method);
       if (mode == cache::CacheMode::ReadWrite || verify_dirty) {
         // Upsert this sweep's cells into the record, preserving cells
         // other sweep contexts (configs, schedulers, tick budgets) put
@@ -521,7 +578,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
         cache::MethodRecord next;
         next.fingerprint = cache::record_fingerprint();
         next.method_name = m.name;
-        if (have_record) next.cells = lane.record.cells;
+        if (p.have_record) next.cells = p.record.cells;
         for (std::size_t ci = 0; ci < sweep.configs.size(); ++ci) {
           for (std::size_t si = 0; si < n_scenarios; ++si) {
             const SweepSample& fresh = out[ci * n_scenarios + si];
@@ -552,6 +609,7 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
     }
     ++lane.prof.methods;
     lane.prof.cells += cells_per_method;
+    pre[wi].reset();
     heartbeat();
   };
 
@@ -560,18 +618,29 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   std::vector<std::unique_ptr<LaneState>> lanes;
   if (threads <= 1 || work.size() <= 1) {
     lanes.push_back(make_lane());
-    for (const std::size_t pi : work) {
-      run_method(pi, *lanes[0]);
+    for (std::size_t wi = 0; wi < work.size(); ++wi) {
+      prepare_method(wi, *lanes[0]);
+    }
+    for (std::size_t wi = 0; wi < work.size(); ++wi) {
+      run_method(wi, *lanes[0]);
     }
   } else {
     util::ThreadPool workers(threads);
     // Per-lane state: lanes never share an Engine (each holds a mutable
     // scratch workspace), and engines persist across the lane's methods
-    // so allocation reuse still pays off.
+    // so allocation reuse still pays off. The pool barrier between the
+    // two parallel_for calls publishes every phase-A Precomp (plans
+    // included) before any phase-B lane reads one — an item may land on
+    // a different lane in each phase, and phase B only ever reads the
+    // shared plans.
     lanes.resize(workers.size());
     workers.parallel_for(work.size(), [&](std::size_t wi, unsigned lane) {
       if (lanes[lane] == nullptr) lanes[lane] = make_lane();
-      run_method(work[wi], *lanes[lane]);
+      prepare_method(wi, *lanes[lane]);
+    });
+    workers.parallel_for(work.size(), [&](std::size_t wi, unsigned lane) {
+      if (lanes[lane] == nullptr) lanes[lane] = make_lane();
+      run_method(wi, *lanes[lane]);
     });
   }
 
@@ -589,17 +658,20 @@ Sweep run_sweep(const std::vector<const bytecode::Method*>& methods,
   // Dedup fill: duplicates copy their leader's cells and re-stamp the
   // name-dependent sample fields. Serial, in pick order — the output is
   // byte-identical to simulating every duplicate.
+  util::Interner dedup_intern;
   for (std::size_t pi = 0; pi < picks.size(); ++pi) {
     if (leader_of[pi] == pi) continue;
     const bytecode::Method& m = *methods[picks[pi]];
     const bool is_hot = hot.contains(m.name);
     const std::size_t src = leader_of[pi] * cells_per_method;
     const std::size_t dst = pi * cells_per_method;
+    const util::InternedString& mname = dedup_intern.get(m.name);
+    const util::InternedString& bname = dedup_intern.get(m.benchmark);
     for (std::size_t c = 0; c < cells_per_method; ++c) {
       SweepSample& sample = sweep.samples[dst + c];
       sample = sweep.samples[src + c];
-      sample.method = m.name;
-      sample.benchmark = m.benchmark;
+      sample.method = mname;
+      sample.benchmark = bname;
       sample.is_hot = is_hot;
       // Attribution is name-independent, so a duplicate's vector is its
       // leader's vector, exactly.

@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "util/intern.hpp"
 
 namespace javaflow::analysis {
 
@@ -30,9 +31,13 @@ std::string_view filter_name(Filter f) noexcept;
 bool filter_accepts(Filter f, std::size_t static_insts, bool is_hot) noexcept;
 
 // One execution sample: a (method, config, scenario) cell of the sweep.
+// The name fields are interned handles: every cell of a method shares
+// one heap string per name instead of copying it twelve times per
+// method (util/intern.hpp); they convert implicitly to const
+// std::string& wherever a plain string is expected.
 struct SweepSample {
-  std::string method;
-  std::string benchmark;
+  util::InternedString method;
+  util::InternedString benchmark;
   std::size_t config_index = 0;    // into the sweep's config list
   sim::BranchPredictor::Scenario scenario =
       sim::BranchPredictor::Scenario::BP1;
@@ -71,6 +76,7 @@ struct SweepProfile {
     double verify_s = 0.0;   // back-jump scan, hot lookup, optional lint
     double resolve_s = 0.0;  // dataflow-graph construction
     double place_s = 0.0;    // per-config fabric placement
+    double plan_s = 0.0;     // execution-plan lowering (one per config)
     double execute_s = 0.0;  // engine runs (all config x scenario cells)
     double cache_s = 0.0;    // result-cache probe/fill/store time
     std::size_t methods = 0;

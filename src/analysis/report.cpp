@@ -116,6 +116,7 @@ void write_profile_lane(std::ostream& os, const SweepProfile::Lane& lane) {
   os << "{\"verify_s\":" << lane.verify_s
      << ",\"resolve_s\":" << lane.resolve_s
      << ",\"place_s\":" << lane.place_s
+     << ",\"plan_s\":" << lane.plan_s
      << ",\"execute_s\":" << lane.execute_s
      << ",\"cache_s\":" << lane.cache_s
      << ",\"methods\":" << lane.methods << ",\"cells\":" << lane.cells

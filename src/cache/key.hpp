@@ -47,13 +47,16 @@ inline constexpr std::uint32_t kEngineFingerprint = 1;
 // regression when a verify-mode replay re-checks them.
 inline constexpr std::uint32_t kAnalysisFingerprint = 1;
 
-// The fingerprint stamped on (and demanded of) record files: engine,
-// analyzer, and attribution-format versions combined (the last from
-// obs::kAttributionFingerprint, so snapshot-bearing cached records
+// The fingerprint stamped on (and demanded of) record files: plan
+// lowering, engine, analyzer, and attribution-format versions combined
+// (sim::kPlanFingerprint because cached metrics flow through the
+// plan-driven engine path and the plan-based bound analyzer;
+// obs::kAttributionFingerprint so snapshot-bearing cached records
 // invalidate when critical-path category semantics change). Bumping any
 // constant invalidates every existing record.
 inline constexpr std::uint32_t record_fingerprint() noexcept {
-  return (kEngineFingerprint << 16) |
+  return ((sim::kPlanFingerprint & 0xffu) << 24) |
+         ((kEngineFingerprint & 0xffu) << 16) |
          ((kAnalysisFingerprint & 0xffu) << 8) |
          (obs::kAttributionFingerprint & 0xffu);
 }

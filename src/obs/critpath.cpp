@@ -4,6 +4,7 @@
 
 #include "net/mesh_network.hpp"
 #include "obs/metrics.hpp"
+#include "sim/plan.hpp"
 
 namespace javaflow::obs {
 
@@ -50,6 +51,24 @@ void attribute_links(const net::MeshNetwork& mesh, const PathStep& step,
         spent += share;
         out.link_ticks[{src, static_cast<std::uint8_t>(dir)}] += share;
       });
+}
+
+// Same spreading, but over a plan's precomputed route span: the links
+// (and their order) are exactly what for_each_route_link would walk, so
+// the two decompositions agree tick-for-tick (tests/test_plan.cpp).
+void attribute_links_plan(const sim::ExecPlan& plan, const PathStep& step,
+                          Attribution& out) {
+  const sim::ExecPlan::RouteSpan r =
+      plan.find_route(step.from_phys, step.to_phys);
+  if (r.count == 0) return;  // self-delivery: no link traversed
+  const std::int64_t per = step.ticks() / r.count;
+  std::int64_t spent = 0;
+  for (std::int32_t i = 0; i < r.count; ++i) {
+    const std::int64_t share =
+        i + 1 == r.count ? step.ticks() - spent : per;
+    spent += share;
+    out.link_ticks[{r.links[i].src_phys, r.links[i].dir}] += share;
+  }
 }
 
 }  // namespace
@@ -101,7 +120,16 @@ Attribution attribute(const FlightRecorder& fr,
   if (opts.detail) {
     // Recorded back-to-front; present injection-first.
     std::reverse(out.steps.begin(), out.steps.end());
-    if (opts.mesh_width > 0 && !opts.collapsed) {
+    if (opts.plan != nullptr) {
+      if (!opts.plan->collapsed()) {
+        for (const PathStep& s : out.steps) {
+          if (s.category == PathCategory::MeshTransit && s.from_phys >= 0 &&
+              s.to_phys >= 0) {
+            attribute_links_plan(*opts.plan, s, out);
+          }
+        }
+      }
+    } else if (opts.mesh_width > 0 && !opts.collapsed) {
       const net::MeshNetwork mesh(opts.mesh_width);
       for (const PathStep& s : out.steps) {
         if (s.category == PathCategory::MeshTransit && s.from_phys >= 0 &&

@@ -32,6 +32,10 @@
 #include <utility>
 #include <vector>
 
+namespace javaflow::sim {
+class ExecPlan;
+}  // namespace javaflow::sim
+
 namespace javaflow::obs {
 
 // The seven delay sources a tick on the critical path can belong to.
@@ -144,6 +148,13 @@ struct AttributeOptions {
   // Sweep-scale callers that only need the category vector turn this
   // off.
   bool detail = true;
+  // Pre-lowered execution plan of the run being attributed (docs/PERF.md
+  // "Execution plans"). When set, MeshTransit link decomposition replays
+  // the plan's precomputed X-Y route spans instead of re-walking a
+  // net::MeshNetwork — same links, same order, no routing work. The
+  // plan's own collapsed flag gates the decomposition, so mesh_width /
+  // collapsed above are ignored.
+  const sim::ExecPlan* plan = nullptr;
 };
 
 // The answer: per-category tick totals over the realized critical path,

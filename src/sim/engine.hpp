@@ -18,6 +18,7 @@
 #include "fabric/loader.hpp"
 #include "sim/branch_predictor.hpp"
 #include "sim/config.hpp"
+#include "sim/plan.hpp"
 
 namespace javaflow::obs {
 struct MetricsRegistry;
@@ -91,6 +92,13 @@ struct EngineOptions {
   // JAVAFLOW_SCHEDULER (default: the calendar queue) once at Engine
   // construction. tests/test_scheduler.cpp asserts the equality.
   SchedulerKind scheduler = SchedulerKind::Auto;
+  // Pre-lowered execution plans (docs/PERF.md "Execution plans"). On
+  // lowers each method to a sim::ExecPlan (cached in the workspace) and
+  // runs the plan-driven fast path; Off keeps the legacy per-run
+  // graph/placement walk. Bit-identical either way; Auto resolves via
+  // JAVAFLOW_PLAN (default On) once at Engine construction.
+  // tests/test_plan.cpp asserts the equality.
+  PlanMode plan = PlanMode::Auto;
   // Failure injection: the node at this linear address raises an
   // arithmetic exception on its `inject_exception_fire`-th firing
   // (1-based). The node halts, an EXCEPTION_TOKEN travels to the GPP,
@@ -138,6 +146,15 @@ class Engine {
   RunMetrics run(const bytecode::Method& m,
                  const fabric::DataflowGraph& graph,
                  const fabric::Placement& placement,
+                 BranchPredictor& predictor);
+
+  // Run from a pre-lowered plan (docs/PERF.md "Execution plans"). The
+  // plan must have been built for `m` under this engine's MachineConfig;
+  // it embeds the graph, placement, and timing model, so neither is
+  // consulted. The plan is read-only here — the parallel sweep shares
+  // one plan across worker lanes. Always takes the plan path regardless
+  // of EngineOptions::plan (the caller already opted in by lowering).
+  RunMetrics run(const bytecode::Method& m, const ExecPlan& plan,
                  BranchPredictor& predictor);
 
   const MachineConfig& config() const noexcept { return config_; }

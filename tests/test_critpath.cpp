@@ -302,7 +302,10 @@ TEST(Fingerprint, AttributionVersionIsFoldedIntoCacheRecords) {
             obs::kAttributionFingerprint & 0xffu);
   EXPECT_EQ((cache::record_fingerprint() >> 8) & 0xffu,
             cache::kAnalysisFingerprint & 0xffu);
-  EXPECT_EQ(cache::record_fingerprint() >> 16, cache::kEngineFingerprint);
+  EXPECT_EQ((cache::record_fingerprint() >> 16) & 0xffu,
+            cache::kEngineFingerprint & 0xffu);
+  EXPECT_EQ(cache::record_fingerprint() >> 24,
+            sim::kPlanFingerprint & 0xffu);
 }
 
 }  // namespace

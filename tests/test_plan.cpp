@@ -1,0 +1,385 @@
+// Pre-lowered execution plans (docs/PERF.md "Execution plans").
+//
+// The plan-driven engine path must be bit-identical to the legacy
+// graph/placement walk in every observable output: RunMetrics, Chrome
+// trace JSON, critical-path attribution (including the per-link
+// MeshTransit decomposition), the static bound analyzer, and whole
+// .jfs snapshot byte streams — across the full Table 15 config matrix
+// and both branch scenarios. Plans are also shareable: one read-only
+// ExecPlan serves any number of concurrent engines (the parallel
+// sweep's cross-lane sharing; run this binary under TSan).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/explain.hpp"
+#include "analysis/figure_of_merit.hpp"
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/loader.hpp"
+#include "obs/critpath.hpp"
+#include "obs/event_tracer.hpp"
+#include "obs/snapshot.hpp"
+#include "sim/engine.hpp"
+#include "sim/plan.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+
+// ---- name / env resolution ----
+
+TEST(PlanConfig, NamesRoundTrip) {
+  using sim::PlanMode;
+  EXPECT_EQ(sim::plan_mode_name(PlanMode::On), "on");
+  EXPECT_EQ(sim::plan_mode_name(PlanMode::Off), "off");
+  EXPECT_EQ(sim::plan_mode_name(PlanMode::Auto), "auto");
+  EXPECT_EQ(sim::plan_mode_from_name("on"), PlanMode::On);
+  EXPECT_EQ(sim::plan_mode_from_name("off"), PlanMode::Off);
+  EXPECT_EQ(sim::plan_mode_from_name("auto"), PlanMode::Auto);
+  EXPECT_FALSE(sim::plan_mode_from_name("fast").has_value());
+  EXPECT_FALSE(sim::plan_mode_from_name("").has_value());
+}
+
+TEST(PlanConfig, ResolveReadsEnvironmentWithOnDefault) {
+  using sim::PlanMode;
+  // Explicit modes pass through untouched, whatever the env says.
+  ASSERT_EQ(setenv("JAVAFLOW_PLAN", "off", 1), 0);
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::On), PlanMode::On);
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::Off), PlanMode::Off);
+  // Auto follows the env...
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::Auto), PlanMode::Off);
+  ASSERT_EQ(setenv("JAVAFLOW_PLAN", "on", 1), 0);
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::Auto), PlanMode::On);
+  // ...warns-and-defaults on garbage, and defaults On when unset.
+  ASSERT_EQ(setenv("JAVAFLOW_PLAN", "bogus", 1), 0);
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::Auto), PlanMode::On);
+  ASSERT_EQ(unsetenv("JAVAFLOW_PLAN"), 0);
+  EXPECT_EQ(sim::resolve_plan_mode(PlanMode::Auto), PlanMode::On);
+}
+
+// ---- shared corpus ----
+
+const workloads::Corpus& shared_corpus() {
+  static const workloads::Corpus corpus = workloads::make_corpus({});
+  return corpus;
+}
+
+analysis::Sweep plan_sweep(sim::PlanMode mode, int threads,
+                           bool attribution = false) {
+  const workloads::Corpus& corpus = shared_corpus();
+  std::vector<const bytecode::Method*> methods;
+  for (const bytecode::Method& m : corpus.program.methods) {
+    methods.push_back(&m);
+  }
+  std::vector<std::string> hot;
+  for (std::size_t i = 0; i < corpus.kernel_methods; ++i) {
+    hot.push_back(corpus.program.methods[i].name);
+  }
+  analysis::SweepOptions options;
+  options.stride = 32;  // the CI smoke stride: a real corpus slice
+  options.threads = threads;
+  // Real worker threads even on small CI hosts, so the cross-lane
+  // shared-plan reads actually happen (and TSan can see them).
+  options.allow_oversubscribe = threads > 1;
+  options.engine.plan = mode;
+  options.attribution = attribution;
+  return analysis::run_sweep(methods, corpus.program.pool, hot, options);
+}
+
+// ---- full-corpus golden equality ----
+
+TEST(PlanEquality, FullSweepIsBitIdenticalAcrossPlanModes) {
+  const analysis::Sweep on =
+      plan_sweep(sim::PlanMode::On, 1, /*attribution=*/true);
+  const analysis::Sweep off =
+      plan_sweep(sim::PlanMode::Off, 1, /*attribution=*/true);
+
+  // All six Table 15 configs, both scenarios, every RunMetrics field.
+  ASSERT_EQ(on.configs.size(), 6u);
+  ASSERT_GT(on.samples.size(), 100u);
+  ASSERT_EQ(on.samples.size(), off.samples.size());
+  for (std::size_t i = 0; i < on.samples.size(); ++i) {
+    ASSERT_EQ(on.samples[i], off.samples[i])
+        << "sample " << i << " (" << on.samples[i].method << ", config "
+        << on.samples[i].config_index << ")";
+  }
+  // Attribution category vectors too — the flight-recorder edges the
+  // plan path emits must parent/categorize identically.
+  ASSERT_EQ(on.attribution.size(), off.attribution.size());
+  ASSERT_FALSE(on.attribution.empty());
+  for (std::size_t i = 0; i < on.attribution.size(); ++i) {
+    ASSERT_EQ(on.attribution[i].valid, off.attribution[i].valid) << i;
+    ASSERT_EQ(on.attribution[i].category_ticks,
+              off.attribution[i].category_ticks)
+        << i;
+  }
+}
+
+// The parallel sweep shares each phase-A plan read-only across worker
+// lanes; the result must match the serial sweep exactly (and running
+// this under TSan proves the sharing is race-free).
+TEST(PlanEquality, SerialAndParallelSweepsMatchWithPlansOn) {
+  const analysis::Sweep serial = plan_sweep(sim::PlanMode::On, 1);
+  const analysis::Sweep parallel = plan_sweep(sim::PlanMode::On, 4);
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    ASSERT_EQ(serial.samples[i], parallel.samples[i]) << "sample " << i;
+  }
+}
+
+// ---- per-run trace equality ----
+
+// A loop over an array load: backward transfer, TAIL replay, memory
+// ordering, mesh traffic — the full §6.3 event mix.
+Program loop_program() {
+  Program p;
+  Assembler a(p, "plan.loop(IA)I", "plan");
+  a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.aload(1).iload(0).op(Op::iaload).istore(0);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+  return p;
+}
+
+struct TracedRun {
+  sim::RunMetrics metrics;
+  std::vector<obs::TraceEvent> events;
+  std::string chrome_json;
+};
+
+TracedRun traced_run(const sim::MachineConfig& cfg, sim::PlanMode mode,
+                     const Program& p, const fabric::DataflowGraph& graph,
+                     sim::BranchPredictor::Scenario scenario) {
+  sim::EngineOptions options;
+  options.plan = mode;
+  obs::EventTracer tracer;
+  options.tracer = &tracer;
+  sim::Engine engine(cfg, options);
+  sim::BranchPredictor predictor(scenario);
+  TracedRun out;
+  out.metrics = engine.run(p.methods[0], graph, predictor);
+  out.events = tracer.events();
+  obs::TraceMeta meta;
+  meta.method = p.methods[0].name;
+  meta.config = cfg.name;
+  meta.scenario = "BP-1";
+  meta.serial_per_mesh = cfg.serial_per_mesh;
+  meta.node_labels.assign(p.methods[0].code.size(), "n");
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tracer, meta);
+  out.chrome_json = os.str();
+  return out;
+}
+
+TEST(PlanEquality, TraceJsonIsIdenticalOnEveryConfigAndScenario) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    for (const auto scenario : {sim::BranchPredictor::Scenario::BP1,
+                                sim::BranchPredictor::Scenario::BP2}) {
+      const TracedRun on =
+          traced_run(cfg, sim::PlanMode::On, p, graph, scenario);
+      const TracedRun off =
+          traced_run(cfg, sim::PlanMode::Off, p, graph, scenario);
+      ASSERT_TRUE(on.metrics.completed) << cfg.name;
+      EXPECT_EQ(on.metrics, off.metrics) << cfg.name;
+      ASSERT_FALSE(on.events.empty()) << cfg.name;
+      EXPECT_EQ(on.events, off.events) << cfg.name;
+      EXPECT_EQ(on.chrome_json, off.chrome_json) << cfg.name;
+    }
+  }
+}
+
+// ---- attribution link decomposition ----
+
+// AttributeOptions::plan replays the plan's precomputed X-Y route spans
+// instead of walking net::MeshNetwork; the per-link tick map must agree
+// exactly.
+TEST(PlanEquality, LinkDecompositionMatchesMeshWalk) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const fabric::Fabric fab(cfg.fabric_options());
+    const fabric::Placement placement =
+        fabric::load_method(fab, p.methods[0]);
+    sim::ExecPlanBuilder builder;
+    const sim::ExecPlan plan =
+        builder.build(p.methods[0], graph, &placement, cfg);
+
+    obs::FlightRecorder flight;
+    sim::EngineOptions options;
+    options.flight = &flight;
+    sim::Engine engine(cfg, options);
+    sim::BranchPredictor predictor(sim::BranchPredictor::Scenario::BP1);
+    const sim::RunMetrics metrics =
+        engine.run(p.methods[0], plan, predictor);
+    ASSERT_TRUE(metrics.completed) << cfg.name;
+
+    obs::AttributeOptions mesh_opts;
+    mesh_opts.mesh_width = cfg.width;
+    mesh_opts.collapsed = cfg.collapsed();
+    const obs::Attribution via_mesh = obs::attribute(flight, mesh_opts);
+
+    obs::AttributeOptions plan_opts;
+    plan_opts.plan = &plan;
+    const obs::Attribution via_plan = obs::attribute(flight, plan_opts);
+
+    ASSERT_TRUE(via_mesh.valid) << cfg.name;
+    EXPECT_EQ(via_mesh, via_plan) << cfg.name;
+  }
+}
+
+// ---- bound analyzer on the lowered image ----
+
+// The plan-based compute_bounds is the primary implementation; the
+// (graph, fabric, placement, config) wrapper lowers and delegates. Both
+// must agree, and the plan-derived lower bound must stay sound against
+// the engine.
+TEST(PlanBounds, PlanAndWrapperAgreeAndStaySound) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const fabric::Fabric fab(cfg.fabric_options());
+    const fabric::Placement placement =
+        fabric::load_method(fab, p.methods[0]);
+    sim::ExecPlanBuilder builder;
+    const sim::ExecPlan plan =
+        builder.build(p.methods[0], graph, &placement, cfg);
+
+    const analysis::MethodBounds direct =
+        analysis::compute_bounds(p.methods[0], plan);
+    const analysis::MethodBounds wrapped = analysis::compute_bounds(
+        p.methods[0], graph, fab, placement, cfg);
+    ASSERT_TRUE(direct.valid) << cfg.name;
+    EXPECT_EQ(direct.lower_bound_ticks, wrapped.lower_bound_ticks)
+        << cfg.name;
+    EXPECT_EQ(direct.operand_hi, wrapped.operand_hi) << cfg.name;
+    EXPECT_EQ(direct.forward_fanout, wrapped.forward_fanout) << cfg.name;
+
+    sim::Engine engine(cfg);
+    sim::BranchPredictor predictor(sim::BranchPredictor::Scenario::BP1);
+    const sim::RunMetrics metrics =
+        engine.run(p.methods[0], plan, predictor);
+    ASSERT_TRUE(metrics.completed) << cfg.name;
+    EXPECT_LE(direct.lower_bound_ticks, metrics.ticks) << cfg.name;
+  }
+}
+
+// ---- plan sharing ----
+
+// One plan object, several concurrent engines: the dedup-class sharing
+// run_sweep does across worker lanes, reduced to its essence. Under
+// TSan this proves the plan's read-only contract.
+TEST(PlanSharing, OnePlanServesConcurrentEngines) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::config_by_name("Compact4");
+  const fabric::Fabric fab(cfg.fabric_options());
+  const fabric::Placement placement =
+      fabric::load_method(fab, p.methods[0]);
+  sim::ExecPlanBuilder builder;
+  const sim::ExecPlan plan =
+      builder.build(p.methods[0], graph, &placement, cfg);
+
+  constexpr int kLanes = 4;
+  constexpr int kRunsPerLane = 8;
+  std::vector<sim::RunMetrics> results(kLanes);
+  std::vector<std::thread> lanes;
+  lanes.reserve(kLanes);
+  for (int lane = 0; lane < kLanes; ++lane) {
+    lanes.emplace_back([&, lane] {
+      sim::Engine engine(cfg);  // engines are lane-private; the plan is not
+      sim::RunMetrics last;
+      for (int r = 0; r < kRunsPerLane; ++r) {
+        sim::BranchPredictor predictor(
+            sim::BranchPredictor::Scenario::BP1);
+        last = engine.run(p.methods[0], plan, predictor);
+      }
+      results[static_cast<std::size_t>(lane)] = last;
+    });
+  }
+  for (std::thread& t : lanes) t.join();
+  for (int lane = 1; lane < kLanes; ++lane) {
+    EXPECT_EQ(results[0], results[static_cast<std::size_t>(lane)]);
+  }
+  EXPECT_TRUE(results[0].completed);
+}
+
+// Dedup-class reuse inside one engine: the workspace plan cache must
+// serve repeated runs of the same (method, placement) without changing
+// results, and rebuild when the method changes.
+TEST(PlanSharing, WorkspacePlanCacheIsTransparent) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::config_by_name("Compact10");
+  sim::Engine engine(cfg);
+
+  sim::BranchPredictor bp1(sim::BranchPredictor::Scenario::BP1);
+  const sim::RunMetrics cold = engine.run(p.methods[0], graph, bp1);
+  sim::BranchPredictor bp1_again(sim::BranchPredictor::Scenario::BP1);
+  const sim::RunMetrics warm = engine.run(p.methods[0], graph, bp1_again);
+  EXPECT_EQ(cold, warm);
+
+  // A different method through the same engine must not be served the
+  // cached plan.
+  Program q;
+  Assembler a(q, "plan.add(II)I", "plan");
+  a.args({ValueType::Int, ValueType::Int}).returns(ValueType::Int);
+  a.iload(0).iload(1).op(Op::iadd).op(Op::ireturn);
+  q.methods.push_back(a.build());
+  const fabric::DataflowGraph qgraph =
+      fabric::build_dataflow_graph(q.methods[0], q.pool);
+  sim::BranchPredictor bp1_q(sim::BranchPredictor::Scenario::BP1);
+  const sim::RunMetrics other = engine.run(q.methods[0], qgraph, bp1_q);
+  EXPECT_TRUE(other.completed);
+  EXPECT_NE(other.ticks, warm.ticks);
+}
+
+// ---- snapshot byte equality ----
+
+TEST(PlanEquality, SnapshotBytesAreIdenticalAcrossPlanModes) {
+  const workloads::Corpus& corpus = shared_corpus();
+  analysis::SnapshotBuildOptions options;
+  options.stride = 64;  // a light slice — byte-equality is the point
+  options.threads = 1;
+
+  ASSERT_EQ(setenv("JAVAFLOW_PLAN", "on", 1), 0);
+  const obs::Snapshot with_plan = analysis::build_snapshot(corpus, options);
+  ASSERT_EQ(setenv("JAVAFLOW_PLAN", "off", 1), 0);
+  const obs::Snapshot without_plan =
+      analysis::build_snapshot(corpus, options);
+  ASSERT_EQ(unsetenv("JAVAFLOW_PLAN"), 0);
+
+  const std::string on_bytes = obs::serialize_snapshot(with_plan);
+  const std::string off_bytes = obs::serialize_snapshot(without_plan);
+  ASSERT_FALSE(on_bytes.empty());
+  EXPECT_EQ(on_bytes, off_bytes);
+  EXPECT_EQ(obs::snapshot_digest(on_bytes),
+            obs::snapshot_digest(off_bytes));
+}
+
+}  // namespace
+}  // namespace javaflow
