@@ -29,6 +29,7 @@
 #include "sim/branch_predictor.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/multi_engine.hpp"
 
 namespace javaflow::cache {
 
@@ -47,18 +48,28 @@ inline constexpr std::uint32_t kEngineFingerprint = 1;
 // regression when a verify-mode replay re-checks them.
 inline constexpr std::uint32_t kAnalysisFingerprint = 1;
 
-// The fingerprint stamped on (and demanded of) record files: plan
-// lowering, engine, analyzer, and attribution-format versions combined
-// (sim::kPlanFingerprint because cached metrics flow through the
-// plan-driven engine path and the plan-based bound analyzer;
-// obs::kAttributionFingerprint so snapshot-bearing cached records
-// invalidate when critical-path category semantics change). Bumping any
-// constant invalidates every existing record.
+// The fingerprint stamped on (and demanded of) record files: an FNV-1a
+// fold over every version constant whose semantics cached metrics can
+// depend on — plan lowering (cached metrics flow through the
+// plan-driven engine path and the plan-based bound analyzer), the
+// single-method engine, the multi-tenant execution core
+// (sim::kMultiEngineFingerprint: it shares the event record and handler
+// shapes with the single engine, so a semantic drift there must
+// invalidate single-method sweep records too), the analyzer, and the
+// critical-path attribution format. Bumping any constant invalidates
+// every existing record.
 inline constexpr std::uint32_t record_fingerprint() noexcept {
-  return ((sim::kPlanFingerprint & 0xffu) << 24) |
-         ((kEngineFingerprint & 0xffu) << 16) |
-         ((kAnalysisFingerprint & 0xffu) << 8) |
-         (obs::kAttributionFingerprint & 0xffu);
+  std::uint32_t h = 2166136261u;  // FNV-1a 32 offset basis
+  for (const std::uint32_t v :
+       {sim::kPlanFingerprint, kEngineFingerprint,
+        sim::kMultiEngineFingerprint, kAnalysisFingerprint,
+        obs::kAttributionFingerprint}) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 16777619u;
+    }
+  }
+  return h;
 }
 
 // Digest of the simulation-relevant method body. Two methods with equal

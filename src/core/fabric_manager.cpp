@@ -1,5 +1,9 @@
 #include "core/fabric_manager.hpp"
 
+#include <algorithm>
+
+#include "fabric/dataflow_graph.hpp"
+
 namespace javaflow {
 
 FabricManager::FabricManager(sim::MachineConfig config,
@@ -7,12 +11,41 @@ FabricManager::FabricManager(sim::MachineConfig config,
     : config_(std::move(config)),
       engine_(config_, engine_options),
       fabric_(config_.fabric_options()),
-      occupied_(static_cast<std::size_t>(config_.capacity), false) {}
+      occupied_(static_cast<std::size_t>(config_.capacity), false),
+      plan_mode_(sim::resolve_plan_mode(engine_options.plan)) {}
+
+FabricManager::Canon& FabricManager::ensure_canon(
+    const bytecode::Method& m, const bytecode::ConstantPool& pool) {
+  Canon& c = canon_[&m];
+  if (c.plan != nullptr && c.code_size == m.code.size() && c.name == m.name) {
+    return c;
+  }
+  // First sighting (or a recycled allocation holding a different
+  // method): lower the fresh-fabric canonical layout once.
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(m, pool);
+  c.plan = std::make_unique<sim::ExecPlan>();
+  plan_builder_.build_into(*c.plan, m, graph, nullptr, config_);
+  c.code_size = m.code.size();
+  c.name = m.name;
+  return c;
+}
+
+std::optional<std::int32_t> FabricManager::canonical_span(
+    const bytecode::Method& m, const bytecode::ConstantPool& pool) {
+  const Canon& c = ensure_canon(m, pool);
+  if (!c.plan->fits()) return std::nullopt;
+  return c.plan->max_slot() + 1;
+}
 
 std::optional<FabricManager::MethodId> FabricManager::load(
-    const bytecode::Method& m, const bytecode::ConstantPool& pool) {
+    const bytecode::Method& m, const bytecode::ConstantPool& pool,
+    std::int32_t first_slot) {
   fabric::Placement placement =
-      fabric::load_method(fabric_, m, occupied_, /*first_slot=*/0);
+      fabric::load_method(fabric_, m, occupied_, first_slot);
+  if (!placement.fits && first_slot != 0) {
+    placement = fabric::load_method(fabric_, m, occupied_, /*first_slot=*/0);
+  }
   if (!placement.fits) return std::nullopt;
   fabric::ResolutionResult resolution =
       fabric::resolve(fabric_, m, placement, pool);
@@ -26,6 +59,47 @@ std::optional<FabricManager::MethodId> FabricManager::load(
     occupied_[static_cast<std::size_t>(slot)] = true;
   }
   occupied_count_ += static_cast<std::int32_t>(placement.slot_of.size());
+
+  // Plan selection: a placement that is the canonical layout shifted by
+  // a whole number of fabric rows shares the canonical plan (row shifts
+  // preserve the full timing model — docs/SERVING.md); anything
+  // irregular gets its own lowering of this exact placement.
+  const Canon& canon = ensure_canon(m, pool);
+  const std::int32_t idus = std::max(config_.idus_per_node, 1);
+  bool share = canon.plan->fits() &&
+               canon.plan->node_count() ==
+                   static_cast<std::int32_t>(placement.slot_of.size()) &&
+               !placement.slot_of.empty();
+  std::int32_t delta = 0;
+  if (share) {
+    delta = placement.slot_of[0] - canon.plan->slot()[0];
+    share = delta >= 0 && delta % idus == 0 &&
+            (delta / idus) % std::max(config_.width, 1) == 0;
+  }
+  if (share) {
+    const std::int32_t* canon_slot = canon.plan->slot();
+    for (std::size_t i = 0; i < placement.slot_of.size(); ++i) {
+      if (placement.slot_of[i] !=
+          canon_slot[i] + delta) {
+        share = false;
+        break;
+      }
+    }
+  }
+  if (share) {
+    r.plan = canon.plan.get();
+    r.phys_delta = delta / idus;
+    r.plan_shared = true;
+    ++plans_shared_;
+  } else {
+    r.dedicated_plan = std::make_unique<sim::ExecPlan>();
+    plan_builder_.build_into(*r.dedicated_plan, m, resolution.graph,
+                             &placement, config_);
+    r.plan = r.dedicated_plan.get();
+    r.phys_delta = 0;
+    ++plans_lowered_;
+  }
+
   r.placement = std::move(placement);
   r.resolution = std::move(resolution);
   const MethodId id = r.id;
@@ -51,13 +125,35 @@ std::optional<sim::RunMetrics> FabricManager::execute(
   if (it == residents_.end() || it->second.busy) {
     return std::nullopt;  // unknown method or Anchor busy (§4.3)
   }
-  it->second.busy = true;
+  Resident& r = it->second;
+  r.busy = true;
   sim::BranchPredictor predictor(scenario);
-  sim::RunMetrics metrics = engine_.run(
-      *it->second.method, it->second.resolution.graph,
-      it->second.placement, predictor);
-  it->second.busy = false;
+  sim::RunMetrics metrics;
+  if (plan_mode_ == sim::PlanMode::On && r.plan != nullptr &&
+      r.plan->fits()) {
+    // Plan path on the persistent engine: a shared canonical plan runs
+    // in its own frame, so only max_slot needs rebasing to the actual
+    // placement (row-shift invariance covers every other field).
+    metrics = engine_.run(*r.method, *r.plan, predictor);
+    metrics.max_slot = r.placement.max_slot;
+  } else {
+    metrics = engine_.run(*r.method, r.resolution.graph, r.placement,
+                          predictor);
+  }
+  r.busy = false;
   return metrics;
+}
+
+const FabricManager::Resident* FabricManager::begin_execute(MethodId id) {
+  auto it = residents_.find(id);
+  if (it == residents_.end() || it->second.busy) return nullptr;
+  it->second.busy = true;
+  return &it->second;
+}
+
+void FabricManager::end_execute(MethodId id) {
+  auto it = residents_.find(id);
+  if (it != residents_.end()) it->second.busy = false;
 }
 
 std::optional<std::int64_t> FabricManager::quiesce_and_rebind(MethodId id) {

@@ -7,10 +7,21 @@
 // (busy nodes pass the CMD_LOAD_INSTRUCTION stream along), enforces the
 // one-thread-per-method rule through Anchor busy state, and frees slots
 // again on CMD_UNLOAD_INSTRUCTION.
+//
+// Every resident carries a pre-lowered sim::ExecPlan. Methods placed at
+// a row-aligned uniform shift of their canonical (fresh-fabric) layout
+// share one canonical plan — the resident stores only its phys_delta —
+// while irregular placements (packed around other residents) get a
+// dedicated lowering. The serving frontend (serve::FabricServer) leases
+// residents via begin_execute()/end_execute() and feeds their
+// (plan, phys_delta) pairs to a shared sim::MultiEngine; plain
+// execute() keeps the one-shot single-method path on the manager's
+// persistent engine (workspace reuse + the plan cache here).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -20,6 +31,7 @@
 #include "sim/branch_predictor.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/plan.hpp"
 
 namespace javaflow {
 
@@ -34,15 +46,24 @@ class FabricManager {
     fabric::Placement placement;
     fabric::ResolutionResult resolution;
     bool busy = false;  // a thread is executing (Anchor busy, §4.3)
+    // Pre-lowered plan: either the method's shared canonical plan (with
+    // phys_delta rebasing its physical indices) or a dedicated lowering
+    // of this exact placement (phys_delta 0).
+    const sim::ExecPlan* plan = nullptr;
+    std::int32_t phys_delta = 0;
+    bool plan_shared = false;
+    std::unique_ptr<sim::ExecPlan> dedicated_plan;
   };
 
   explicit FabricManager(sim::MachineConfig config,
                          sim::EngineOptions engine_options = {});
 
-  // Loads + resolves a method around the existing residents. Returns
-  // nullopt if it cannot be placed within the node budget.
+  // Loads + resolves a method around the existing residents, preferring
+  // `first_slot` (falling back to a scan from 0 when the hint does not
+  // fit). Returns nullopt if it cannot be placed within the node budget.
   std::optional<MethodId> load(const bytecode::Method& m,
-                               const bytecode::ConstantPool& pool);
+                               const bytecode::ConstantPool& pool,
+                               std::int32_t first_slot = 0);
 
   // CMD_UNLOAD_INSTRUCTION: frees every slot the method held. Fails (and
   // changes nothing) while the method is executing.
@@ -54,6 +75,13 @@ class FabricManager {
   std::optional<sim::RunMetrics> execute(
       MethodId id, sim::BranchPredictor::Scenario scenario);
 
+  // Leases a resident for external execution (the serving frontend's
+  // MultiEngine): marks the Anchor busy and hands back the resident, or
+  // null when the method is unknown or already executing. The lease must
+  // be returned with end_execute() before unload/execute can succeed.
+  const Resident* begin_execute(MethodId id);
+  void end_execute(MethodId id);
+
   // Garbage-collection support (§6.4): quiesce the method's execution
   // (QUIESE_TOKEN down its chain), then force every storage node to
   // re-resolve its Constant Pool pointers (RESETADDRESS_TOKEN). Returns
@@ -61,13 +89,38 @@ class FabricManager {
   // is unknown or currently executing.
   std::optional<std::int64_t> quiesce_and_rebind(MethodId id);
 
+  // Slot span (max_slot + 1) of the method's canonical fresh-fabric
+  // layout — what an aligned-anchor scan must find free — or nullopt
+  // when the method cannot fit even on an empty fabric.
+  std::optional<std::int32_t> canonical_span(const bytecode::Method& m,
+                                             const bytecode::ConstantPool& pool);
+
   const Resident* find(MethodId id) const;
   std::size_t resident_count() const noexcept { return residents_.size(); }
   // Instruction Nodes currently holding instructions.
   std::int32_t occupied_slots() const noexcept { return occupied_count_; }
   std::int32_t capacity() const noexcept { return config_.capacity; }
+  const std::vector<bool>& occupied_map() const noexcept { return occupied_; }
+  const sim::MachineConfig& config() const noexcept { return config_; }
+  // Plan-cache telemetry: residents that shared a canonical plan vs.
+  // placements that forced a dedicated lowering.
+  std::int64_t plans_shared() const noexcept { return plans_shared_; }
+  std::int64_t plans_lowered() const noexcept { return plans_lowered_; }
 
  private:
+  // Canonical fresh-fabric lowering of one method, shared by every
+  // row-aligned residency. Keyed by method identity (pointer + size +
+  // name, like the engine workspace caches) and kept across unloads so
+  // a method cycled through the fabric never re-lowers.
+  struct Canon {
+    std::size_t code_size = 0;
+    std::string name;
+    std::unique_ptr<sim::ExecPlan> plan;
+  };
+
+  Canon& ensure_canon(const bytecode::Method& m,
+                      const bytecode::ConstantPool& pool);
+
   sim::MachineConfig config_;
   sim::Engine engine_;
   fabric::Fabric fabric_;
@@ -75,6 +128,11 @@ class FabricManager {
   std::int32_t occupied_count_ = 0;
   MethodId next_id_ = 1;
   std::map<MethodId, Resident> residents_;
+  sim::PlanMode plan_mode_ = sim::PlanMode::On;
+  std::map<const bytecode::Method*, Canon> canon_;
+  sim::ExecPlanBuilder plan_builder_;
+  std::int64_t plans_shared_ = 0;
+  std::int64_t plans_lowered_ = 0;
 };
 
 }  // namespace javaflow

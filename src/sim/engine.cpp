@@ -13,6 +13,7 @@
 #include "obs/critpath.hpp"
 #include "obs/event_tracer.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine_internal.hpp"
 
 namespace javaflow::sim {
 namespace {
@@ -27,117 +28,26 @@ using fabric::Fabric;
 using fabric::Placement;
 using net::Command;
 
-bool is_switch(Op op) {
-  return op == Op::tableswitch || op == Op::lookupswitch;
-}
-
-// The slice of a net::SerialMessage the engine actually routes: every
-// other field stays at its default through the whole simulation, so
-// events and held tokens carry just {cmd, reg} instead of the full
-// Figure 16 record.
-struct Token {
-  Command cmd = Command::HeadToken;
-  std::int32_t reg = -1;
-};
-
-// Firing-state bitmask (struct-of-arrays `state` lane). A node is
-// fire-ready only in the exact state kHeadReceived — any other set bit
-// (already fired, executing, waiting on a ring service, or holding the
-// loop bundle for a fired backward transfer) blocks it, so the hot
-// readiness test is a single byte compare.
-constexpr std::uint8_t kHeadReceived = 0x1;
-constexpr std::uint8_t kFired = 0x2;
-constexpr std::uint8_t kExecuting = 0x4;
-constexpr std::uint8_t kInService = 0x8;
-// Back transfer fired, bundle held until the TAIL arrives (§6.3). Only
-// ever set together with kFired, so the kHeadReceived readiness compare
-// is unaffected.
-constexpr std::uint8_t kWaitTailFlush = 0x10;
-
-// Cold per-node runtime state (wraps the Figure 13 resources). All
-// static classification now lives in read-only lanes — fed by the
-// ExecPlan on the plan path, by prepare_node() on the legacy path — so
-// this struct carries only mutable per-iteration token state.
-struct NodeRt {
-  bool reg_held = false;        // LocalRead/LocalInc captured its token
-  Token held_reg{};
-  bool write_absorbed = false;  // LocalWrite consumed the stale token
-  bool kill_next_register = false;
-  bool memory_held = false;     // ordered storage holds MEMORY_TOKEN
-  Token held_memory{};
-  bool tail_held = false;       // non-control node holding the TAIL
-  Token held_tail{};
-  bool tail_present = false;    // control node has TAIL in its buffer
-  std::int32_t decided_target = -1;
-
-  std::vector<Token> buffered;  // control-node token buffer
-
-  // Flight-recorder bookkeeping (null recorder leaves all of it idle):
-  // the dependency edge that delivered each currently-held token, so its
-  // eventual release can splice a hold edge (operand wait / TAIL hold)
-  // between arrival and release. `buffered_edges` parallels `buffered`.
-  std::int32_t held_reg_edge = -1;
-  std::int32_t held_memory_edge = -1;
-  std::int32_t held_tail_edge = -1;
-  std::vector<std::int32_t> buffered_edges;
-
-  // `buffered` keeps its capacity across iterations and runs, so a
-  // reused workspace stops paying for operand-buffer growth after the
-  // first run.
-  void reset_cold() {
-    reg_held = false;
-    write_absorbed = false;
-    kill_next_register = false;
-    memory_held = false;
-    tail_held = false;
-    tail_present = false;
-    decided_target = -1;
-    buffered.clear();
-    held_reg_edge = -1;
-    held_memory_edge = -1;
-    held_tail_edge = -1;
-    buffered_edges.clear();
-  }
-};
-
-enum class EvKind : std::uint8_t { Serial, Mesh, ExecDone, ServiceDone };
-
-// 32-byte event record. `aux` is the serial register number (Serial) or
-// the consumer's iteration epoch (Mesh); the old full-SerialMessage
-// payload is gone because the engine only ever read {cmd, reg}. `prod`
-// is the producing node of a Mesh operand — it rides in what used to be
-// padding and feeds the tracer's producer->consumer flow events.
-struct Event {
-  std::int64_t tick = 0;
-  std::int64_t seq = 0;
-  std::int32_t node = -1;
-  std::int32_t aux = 0;
-  std::int32_t prod = -1;            // Mesh only
-  EvKind kind = EvKind::Serial;
-  Command cmd = Command::HeadToken;  // Serial only
-  std::uint8_t side = 0;             // Mesh only
-};
-static_assert(sizeof(Event) == 32, "Event should stay two cache quads");
-
-// Min-heap comparator over (tick, seq). (tick, seq) is a strict total
-// order — seq is unique — so the pop order is deterministic regardless
-// of the heap's internal layout. The calendar queue reproduces exactly
-// this order (docs/PERF.md "Engine kernel" has the argument).
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    return std::tie(a.tick, a.seq) > std::tie(b.tick, b.seq);
-  }
-};
+// Token, NodeRt, the firing-state bits, the 32-byte Event record, and
+// the calendar constants are shared with the multi-tenant MultiEngine
+// (sim/engine_internal.hpp). Single-method runs leave Event::res at 0.
+using detail::Event;
+using detail::EventAfter;
+using detail::EvKind;
+using detail::is_switch;
+using detail::kExecuting;
+using detail::kFired;
+using detail::kHeadReceived;
+using detail::kInService;
+using detail::kMaxBuckets;
+using detail::kMaxExecMeshCycles;
+using detail::kWaitTailFlush;
+using detail::NodeRt;
+using detail::Token;
 
 // Sentinel `parent` for schedule(): attach the new dependency edge to
 // the event currently being dispatched (flight recorder only).
 constexpr std::int32_t kParentCurrent = -2;
-
-// Largest per-group execution cost in mesh cycles (Table 17: FpArith).
-constexpr std::int64_t kMaxExecMeshCycles = 10;
-// Calendar-ring ceiling: beyond this, long delays spill to the overflow
-// heap rather than growing the bucket array without bound.
-constexpr std::int64_t kMaxBuckets = 4096;
 
 }  // namespace
 
@@ -651,28 +561,30 @@ class Run {
   }
 
   void dispatch(const Event& ev) {
-    switch (ev.kind) {
+    switch (ev.kind()) {
       case EvKind::Serial:
         on_serial(ev.node, Token{ev.cmd, ev.aux});
         break;
-      case EvKind::Mesh: on_mesh(ev.node, ev.side, ev.aux, ev.prod); break;
+      case EvKind::Mesh:
+        on_mesh(ev.node, ev.side(), ev.aux, ev.prod);
+        break;
       case EvKind::ExecDone: on_exec_done(ev.node); break;
       case EvKind::ServiceDone: on_service_done(ev.node); break;
     }
   }
 
   void trace_event(const Event& ev) {
-    const char* kind = ev.kind == EvKind::Serial ? "serial"
-                       : ev.kind == EvKind::Mesh ? "mesh"
-                       : ev.kind == EvKind::ExecDone ? "exec" : "svc";
+    const char* kind = ev.kind() == EvKind::Serial ? "serial"
+                       : ev.kind() == EvKind::Mesh ? "mesh"
+                       : ev.kind() == EvKind::ExecDone ? "exec" : "svc";
     std::fprintf(stderr, "t=%lld %s node=%d", (long long)ev.tick, kind,
                  ev.node);
-    if (ev.kind == EvKind::Serial) {
+    if (ev.kind() == EvKind::Serial) {
       std::fprintf(stderr, " cmd=%s reg=%d",
                    std::string(net::command_name(ev.cmd)).c_str(), ev.aux);
     }
-    if (ev.kind == EvKind::Mesh) {
-      std::fprintf(stderr, " side=%d epoch=%d", ev.side, ev.aux);
+    if (ev.kind() == EvKind::Mesh) {
+      std::fprintf(stderr, " side=%d epoch=%d", ev.side(), ev.aux);
     }
     std::fprintf(stderr, "\n");
   }
@@ -701,7 +613,7 @@ class Run {
       ++mx()->serial_commands[static_cast<std::size_t>(tok.cmd)];
     }
     Event ev;
-    ev.kind = EvKind::Serial;
+    ev.set(EvKind::Serial);
     ev.node = to_node;
     ev.cmd = tok.cmd;
     ev.aux = tok.reg;
@@ -722,10 +634,9 @@ class Run {
         ++mesh_messages_;
         if (mx() != nullptr) record_mesh_metrics_plan(*e);
         Event ev;
-        ev.kind = EvKind::Mesh;
+        ev.set(EvKind::Mesh, e->side);
         ev.node = e->consumer;
         ev.prod = producer;
-        ev.side = e->side;
         ev.aux = epoch_[static_cast<std::size_t>(e->consumer)];
         ev.tick = now_ + e->delivery_ticks;
         schedule(ev, obs::PathCategory::MeshTransit, kParentCurrent,
@@ -741,10 +652,9 @@ class Run {
       const std::int64_t cycles = fabric_->mesh_cycles(from_phys, to_phys);
       if (mx() != nullptr) record_mesh_metrics(from_phys, to_phys, cycles);
       Event ev;
-      ev.kind = EvKind::Mesh;
+      ev.set(EvKind::Mesh, e.side);
       ev.node = e.consumer;
       ev.prod = producer;
-      ev.side = e.side;
       ev.aux = epoch_[static_cast<std::size_t>(e.consumer)];
       ev.tick = now_ + k_ * cycles;
       schedule(ev, obs::PathCategory::MeshTransit, kParentCurrent,
@@ -1037,7 +947,7 @@ class Run {
       node_ready_edge_[u] = -1;
     }
     Event ev;
-    ev.kind = EvKind::ExecDone;
+    ev.set(EvKind::ExecDone);
     ev.node = node;
     ev.tick = now_ + cost;
     schedule(ev, obs::PathCategory::Execution, parent, -1, -1, op_[u]);
@@ -1160,7 +1070,7 @@ class Run {
         record_service(node, net::RingService::GppService, svc_ticks);
       }
       Event ev;
-      ev.kind = EvKind::ServiceDone;
+      ev.set(EvKind::ServiceDone);
       ev.node = node;
       ev.tick = now_ + svc_ticks;
       schedule(ev, obs::PathCategory::RingService);
@@ -1181,7 +1091,7 @@ class Run {
         record_service(node, net::RingService::MemoryRead, svc_ticks);
       }
       Event ev;
-      ev.kind = EvKind::ServiceDone;
+      ev.set(EvKind::ServiceDone);
       ev.node = node;
       ev.tick = now_ + svc_ticks;
       schedule(ev, obs::PathCategory::RingService);

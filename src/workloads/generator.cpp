@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bytecode/assembler.hpp"
+#include "util/rng.hpp"
 
 namespace javaflow::workloads {
 namespace {
@@ -87,15 +88,13 @@ class Generator {
   }
 
  private:
-  int rnd(int n) {
-    return static_cast<int>(rng_() % static_cast<std::uint32_t>(n));
-  }
-  bool chance(double p) {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
-  }
-  int pick(const std::vector<int>& v) {
-    return v[static_cast<std::size_t>(rnd(static_cast<int>(v.size())))];
-  }
+  // Draw helpers live in util::RandomSource (shared with the serving
+  // request stream's SplitMix64); the mt19937_64 engine and the exact
+  // draw expressions are unchanged, so the generated corpus is
+  // bit-identical to the golden reference artifacts.
+  int rnd(int n) { return rng_.below(n); }
+  bool chance(double p) { return rng_.chance(p); }
+  int pick(const std::vector<int>& v) { return rng_.pick(v); }
   const char* int_global() {
     static constexpr const char* kNames[] = {"g0", "g1", "g2"};
     return kNames[static_cast<std::size_t>(rnd(3))];
@@ -215,7 +214,7 @@ class Generator {
       emit_simple();
       return;
     }
-    const double r = std::uniform_real_distribution<double>(0, 1)(rng_);
+    const double r = rng_.uniform01();
     if (!options_.callables.empty() &&
         r >= 1.0 - options_.call_weight) {
       emit_call();
@@ -465,7 +464,7 @@ class Generator {
     a_.istore(pick(locals_.ints));
   }
 
-  std::mt19937_64 rng_;
+  util::RandomSource<std::mt19937_64> rng_;
   GeneratorOptions options_;
   Assembler a_;
   Locals locals_;

@@ -25,6 +25,7 @@
 #include "obs/snapshot.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/multi_engine.hpp"
 #include "workloads/corpus.hpp"
 
 namespace javaflow {
@@ -297,15 +298,32 @@ TEST(Snapshot, SaveLoadRoundTripsThroughDisk) {
 
 // ---- fingerprints ----
 
-TEST(Fingerprint, AttributionVersionIsFoldedIntoCacheRecords) {
-  EXPECT_EQ(cache::record_fingerprint() & 0xffu,
-            obs::kAttributionFingerprint & 0xffu);
-  EXPECT_EQ((cache::record_fingerprint() >> 8) & 0xffu,
-            cache::kAnalysisFingerprint & 0xffu);
-  EXPECT_EQ((cache::record_fingerprint() >> 16) & 0xffu,
-            cache::kEngineFingerprint & 0xffu);
-  EXPECT_EQ(cache::record_fingerprint() >> 24,
-            sim::kPlanFingerprint & 0xffu);
+// record_fingerprint() is an FNV-1a 32 fold over, in order: plan
+// lowering, single-method engine, multi-tenant engine, analyzer, and
+// attribution versions. Recomputing the fold here pins both the
+// constant set and the fold order — bumping any version constant (or
+// reordering the fold) must change the stamped fingerprint.
+TEST(Fingerprint, VersionConstantsAreFoldedIntoCacheRecords) {
+  const auto fold = [](std::initializer_list<std::uint32_t> vs) {
+    std::uint32_t h = 2166136261u;
+    for (const std::uint32_t v : vs) {
+      for (int i = 0; i < 4; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 16777619u;
+      }
+    }
+    return h;
+  };
+  EXPECT_EQ(cache::record_fingerprint(),
+            fold({sim::kPlanFingerprint, cache::kEngineFingerprint,
+                  sim::kMultiEngineFingerprint, cache::kAnalysisFingerprint,
+                  obs::kAttributionFingerprint}));
+  // Sensitivity: a bump of any single constant moves the fingerprint.
+  EXPECT_NE(cache::record_fingerprint(),
+            fold({sim::kPlanFingerprint, cache::kEngineFingerprint,
+                  sim::kMultiEngineFingerprint + 1,
+                  cache::kAnalysisFingerprint,
+                  obs::kAttributionFingerprint}));
 }
 
 }  // namespace

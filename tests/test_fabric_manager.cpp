@@ -222,5 +222,128 @@ TEST(FabricManager, QuiesceUnknownIdFails) {
   EXPECT_FALSE(mgr.quiesce_and_rebind(9).has_value());
 }
 
+// ---- serving-core edge paths (docs/SERVING.md) ----
+
+// Row-aligned residencies of one method share the canonical pre-lowered
+// plan: one lowering, two residents, phys_delta carrying the shift.
+TEST(FabricManager, AlignedResidenciesShareCanonicalPlan) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  const sim::MachineConfig cfg = sim::config_by_name("Compact2");
+  FabricManager mgr(cfg);
+  const auto a = mgr.load(p.methods[0], p.pool, 0);
+  const std::int32_t align = cfg.idus_per_node * cfg.width;
+  const auto b = mgr.load(p.methods[0], p.pool, 2 * align);
+  ASSERT_TRUE(a && b);
+  const auto* ra = mgr.find(*a);
+  const auto* rb = mgr.find(*b);
+  EXPECT_TRUE(ra->plan_shared);
+  EXPECT_TRUE(rb->plan_shared);
+  EXPECT_EQ(ra->plan, rb->plan);  // literally the same lowering
+  EXPECT_EQ(ra->phys_delta, 0);
+  EXPECT_EQ(rb->phys_delta, 2 * cfg.width);
+  EXPECT_EQ(mgr.plans_shared(), 2);
+  EXPECT_EQ(mgr.plans_lowered(), 0);
+}
+
+// An unaligned packing (greedy, right behind the first resident) cannot
+// reuse the canonical plan and pays a dedicated lowering.
+TEST(FabricManager, UnalignedPackingGetsDedicatedPlan) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  p.methods.push_back(make_loop(p, "m.b(I)I"));
+  FabricManager mgr(sim::config_by_name("Compact2"));
+  const auto a = mgr.load(p.methods[0], p.pool);
+  const auto b = mgr.load(p.methods[1], p.pool);  // anchor mid-row
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(mgr.find(*a)->plan_shared);
+  EXPECT_FALSE(mgr.find(*b)->plan_shared);
+  EXPECT_EQ(mgr.find(*b)->phys_delta, 0);
+  EXPECT_EQ(mgr.plans_lowered(), 1);
+  // Both paths still execute to completion with identical results on
+  // re-execution (the persistent engine's caches are behavior-neutral).
+  const auto r1 = mgr.execute(*b, sim::BranchPredictor::Scenario::BP1);
+  const auto r2 = mgr.execute(*b, sim::BranchPredictor::Scenario::BP1);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(*r1, *r2);
+}
+
+// The begin/end lease enforces §4.3 exactly like execute() does:
+// re-entry, unload, quiesce, and execute are all rejected while leased.
+TEST(FabricManager, ExecuteLeaseBlocksConflictingOperations) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  FabricManager mgr(sim::config_by_name("Compact2"));
+  const auto id = mgr.load(p.methods[0], p.pool);
+  ASSERT_TRUE(id.has_value());
+  const FabricManager::Resident* r = mgr.begin_execute(*id);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(r->plan, nullptr);
+  EXPECT_TRUE(r->plan->fits());
+  EXPECT_EQ(mgr.begin_execute(*id), nullptr);  // Anchor busy
+  EXPECT_FALSE(mgr.unload(*id));
+  EXPECT_FALSE(mgr.quiesce_and_rebind(*id).has_value());
+  EXPECT_FALSE(mgr.execute(*id, sim::BranchPredictor::Scenario::BP1)
+                   .has_value());
+  mgr.end_execute(*id);
+  EXPECT_TRUE(mgr.unload(*id));
+}
+
+// Loading proceeds around a busy resident: the CMD_LOAD_INSTRUCTION
+// stream passes through executing nodes (§6.2).
+TEST(FabricManager, LoadsAroundBusyResident) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  p.methods.push_back(make_loop(p, "m.b(I)I"));
+  FabricManager mgr(sim::config_by_name("Compact2"));
+  const auto a = mgr.load(p.methods[0], p.pool);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_NE(mgr.begin_execute(*a), nullptr);
+  const auto b = mgr.load(p.methods[1], p.pool);
+  ASSERT_TRUE(b.has_value());
+  // Disjoint slots despite the lease.
+  for (const auto sa : mgr.find(*a)->placement.slot_of) {
+    for (const auto sb : mgr.find(*b)->placement.slot_of) {
+      EXPECT_NE(sa, sb);
+    }
+  }
+  mgr.end_execute(*a);
+}
+
+// Canonical plans survive unload: cycling a method through the fabric
+// re-shares the original lowering instead of lowering again.
+TEST(FabricManager, CanonicalPlanSurvivesUnloadCycle) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  FabricManager mgr(sim::config_by_name("Compact2"));
+  const auto a = mgr.load(p.methods[0], p.pool);
+  ASSERT_TRUE(a.has_value());
+  const sim::ExecPlan* first = mgr.find(*a)->plan;
+  ASSERT_TRUE(mgr.unload(*a));
+  const auto b = mgr.load(p.methods[0], p.pool);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(mgr.find(*b)->plan, first);
+  EXPECT_EQ(mgr.plans_shared(), 2);
+  EXPECT_EQ(mgr.plans_lowered(), 0);
+}
+
+// canonical_span reports the fresh-fabric footprint the serving
+// frontend's aligned-gap scan must find.
+TEST(FabricManager, CanonicalSpanMatchesFreshLoad) {
+  Program p;
+  p.methods.push_back(make_loop(p, "m.a(I)I"));
+  FabricManager mgr(sim::config_by_name("Compact2"));
+  const auto span = mgr.canonical_span(p.methods[0], p.pool);
+  ASSERT_TRUE(span.has_value());
+  const auto id = mgr.load(p.methods[0], p.pool);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*span, mgr.find(*id)->placement.max_slot + 1);
+  // A method that cannot fit even on an empty fabric has no span.
+  sim::MachineConfig tiny = sim::config_by_name("Compact2");
+  tiny.capacity = 2;
+  FabricManager small(tiny);
+  EXPECT_FALSE(small.canonical_span(p.methods[0], p.pool).has_value());
+}
+
 }  // namespace
 }  // namespace javaflow

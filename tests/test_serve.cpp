@@ -1,0 +1,610 @@
+// Multi-tenant serving core (docs/SERVING.md).
+//
+// The contract under test, in three layers:
+//   * sim::MultiEngine — a single residency must reproduce Engine::run
+//     bit for bit (RunMetrics field for field), any row-aligned shifted
+//     residency must match modulo its slot offset, and co-resident
+//     methods must genuinely overlap (ticks_res_2plus > 0) while every
+//     completion stays deterministic;
+//   * core::FabricManager — plan sharing across aligned residencies and
+//     the persistent-engine execute path (tests/test_fabric_manager.cpp
+//     holds the load/unload/GC edge cases);
+//   * serve::FabricServer — seeded request streams, admission queueing,
+//     LRU eviction, latency percentiles, and a bit-stable report digest
+//     across repeated runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bytecode/assembler.hpp"
+#include "fabric/dataflow_graph.hpp"
+#include "serve/request_stream.hpp"
+#include "serve/server.hpp"
+#include "sim/engine.hpp"
+#include "sim/multi_engine.hpp"
+#include "sim/plan.hpp"
+#include "workloads/corpus.hpp"
+
+namespace javaflow {
+namespace {
+
+using bytecode::Assembler;
+using bytecode::Op;
+using bytecode::Program;
+using bytecode::ValueType;
+using sim::BranchPredictor;
+using sim::ExecPlan;
+using sim::ExecPlanBuilder;
+using sim::MultiEngine;
+using sim::RunMetrics;
+
+// A loop over an array load: backward transfer, TAIL replay, memory
+// ordering, mesh traffic — the full §6.3 event mix.
+Program loop_program() {
+  Program p;
+  Assembler a(p, "serve.loop(IA)I", "serve");
+  a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Int);
+  auto body = a.new_label(), test = a.new_label();
+  a.goto_(test);
+  a.bind(body);
+  a.aload(1).iload(0).op(Op::iaload).istore(0);
+  a.iinc(0, -1);
+  a.bind(test);
+  a.iload(0).ifgt(body);
+  a.iload(0).op(Op::ireturn);
+  p.methods.push_back(a.build());
+  return p;
+}
+
+const workloads::Corpus& shared_corpus() {
+  static const workloads::Corpus corpus = workloads::make_corpus({});
+  return corpus;
+}
+
+RunMetrics single_run(const sim::MachineConfig& cfg,
+                      const bytecode::Method& m, const ExecPlan& plan,
+                      BranchPredictor::Scenario scenario) {
+  sim::Engine engine(cfg);
+  BranchPredictor predictor(scenario);
+  return engine.run(m, plan, predictor);
+}
+
+RunMetrics multi_run(const sim::MachineConfig& cfg,
+                     const bytecode::Method& m, const ExecPlan& plan,
+                     std::int32_t phys_delta,
+                     BranchPredictor::Scenario scenario) {
+  sim::MultiEngineOptions options;
+  options.max_ticks = 4'000'000;  // EngineOptions default
+  MultiEngine engine(cfg, options);
+  const sim::ResidentId id =
+      engine.admit(m, plan, phys_delta, scenario, /*start_tick=*/0);
+  EXPECT_GE(id, 0);
+  while (engine.advance().has_value()) {
+  }
+  const sim::ResidentOutcome* out = engine.outcome(id);
+  EXPECT_NE(out, nullptr);
+  return out->metrics;
+}
+
+// ---- single-resident parity ----
+
+// One residency at phys_delta 0 is the single-method engine: every
+// RunMetrics field must agree, on every Table 15 config and scenario.
+TEST(MultiEngineParity, SingleResidentMatchesEngineOnAllConfigs) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const ExecPlan plan =
+        ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+    for (const auto scenario : {BranchPredictor::Scenario::BP1,
+                                BranchPredictor::Scenario::BP2}) {
+      const RunMetrics ref = single_run(cfg, p.methods[0], plan, scenario);
+      const RunMetrics got =
+          multi_run(cfg, p.methods[0], plan, 0, scenario);
+      ASSERT_EQ(got, ref) << cfg.name;
+    }
+  }
+}
+
+// The same parity over a real corpus slice: every method whose index is
+// a multiple of the stride, on two structurally different configs.
+TEST(MultiEngineParity, SingleResidentMatchesEngineOnCorpusStride) {
+  const workloads::Corpus& corpus = shared_corpus();
+  std::vector<sim::MachineConfig> configs;
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    if (cfg.name == "Compact2" || cfg.name == "Hetero2") {
+      configs.push_back(cfg);
+    }
+  }
+  ASSERT_EQ(configs.size(), 2u);
+  ExecPlanBuilder builder;
+  for (const sim::MachineConfig& cfg : configs) {
+    for (std::size_t i = 0; i < corpus.program.methods.size(); i += 64) {
+      const bytecode::Method& m = corpus.program.methods[i];
+      const fabric::DataflowGraph graph =
+          fabric::build_dataflow_graph(m, corpus.program.pool);
+      ExecPlan plan;
+      builder.build_into(plan, m, graph, nullptr, cfg);
+      if (!plan.fits()) continue;
+      for (const auto scenario : {BranchPredictor::Scenario::BP1,
+                                  BranchPredictor::Scenario::BP2}) {
+        const RunMetrics ref = single_run(cfg, m, plan, scenario);
+        const RunMetrics got = multi_run(cfg, m, plan, 0, scenario);
+        ASSERT_EQ(got, ref) << cfg.name << " " << m.name;
+      }
+    }
+  }
+}
+
+// A row-aligned shift is invisible to the timing model: serial hops,
+// anchor arithmetic, and (by the serpentine x-mirror argument in
+// docs/SERVING.md) all Manhattan mesh distances are preserved, so the
+// only field allowed to move is max_slot.
+TEST(MultiEngineParity, RowAlignedShiftOnlyMovesMaxSlot) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const ExecPlan plan =
+        ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+    const std::int32_t phys_delta = 2 * cfg.width;  // two rows down
+    RunMetrics ref =
+        multi_run(cfg, p.methods[0], plan, 0, BranchPredictor::Scenario::BP1);
+    const RunMetrics got = multi_run(cfg, p.methods[0], plan, phys_delta,
+                                     BranchPredictor::Scenario::BP1);
+    ASSERT_EQ(got.max_slot,
+              ref.max_slot + phys_delta * std::max(cfg.idus_per_node, 1))
+        << cfg.name;
+    ref.max_slot = got.max_slot;
+    ASSERT_EQ(got, ref) << cfg.name;
+  }
+}
+
+// ---- multi-tenant execution ----
+
+// Two co-resident loops on disjoint rows genuinely overlap: some tick
+// span has instructions from *distinct residencies* executing at once.
+TEST(MultiEngineOverlap, CoResidentMethodsExecuteSimultaneously) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  for (const sim::MachineConfig& cfg : sim::table15_configs()) {
+    const ExecPlan plan =
+        ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+    MultiEngine engine(cfg);
+    ASSERT_GE(engine.admit(p.methods[0], plan, 0,
+                           BranchPredictor::Scenario::BP1, 0),
+              0);
+    ASSERT_GE(engine.admit(p.methods[0], plan, 2 * cfg.width,
+                           BranchPredictor::Scenario::BP1, 0),
+              0);
+    int completions = 0;
+    while (engine.advance().has_value()) ++completions;
+    ASSERT_EQ(completions, 2) << cfg.name;
+    const sim::MultiRunMetrics agg = engine.finish();
+    EXPECT_GT(agg.ticks_res_2plus, 0) << cfg.name;
+    EXPECT_GE(agg.ticks_res_1plus, agg.ticks_res_2plus) << cfg.name;
+    EXPECT_GE(agg.ticks_exec_2plus, agg.ticks_res_2plus) << cfg.name;
+    for (const sim::ResidentOutcome& out : agg.residents) {
+      EXPECT_TRUE(out.metrics.completed) << cfg.name;
+    }
+  }
+}
+
+// Both residencies funnel MemRead/GPP traffic into the same four ring
+// channels; a residency never waits on its own requests, so with a lone
+// residency the wait is zero, and the aggregate equals the per-resident
+// sum by construction.
+TEST(MultiEngineOverlap, RingWaitsAppearOnlyUnderCoResidency) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::table15_configs()[0];
+  const ExecPlan plan =
+      ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+
+  MultiEngine solo(cfg);
+  solo.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+  while (solo.advance().has_value()) {
+  }
+  const sim::MultiRunMetrics solo_agg = solo.finish();
+  EXPECT_EQ(solo_agg.serial_wait_ticks, 0);
+  EXPECT_EQ(solo_agg.mesh_wait_ticks, 0);
+  EXPECT_EQ(solo_agg.ring_wait_ticks, 0);
+
+  MultiEngine duo(cfg);
+  duo.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+  duo.admit(p.methods[0], plan, 2 * cfg.width,
+            BranchPredictor::Scenario::BP1, 0);
+  while (duo.advance().has_value()) {
+  }
+  const sim::MultiRunMetrics agg = duo.finish();
+  std::int64_t serial = 0, mesh = 0, ring = 0;
+  for (const sim::ResidentOutcome& out : agg.residents) {
+    serial += out.serial_wait_ticks;
+    mesh += out.mesh_wait_ticks;
+    ring += out.ring_wait_ticks;
+  }
+  EXPECT_EQ(agg.serial_wait_ticks, serial);
+  EXPECT_EQ(agg.mesh_wait_ticks, mesh);
+  EXPECT_EQ(agg.ring_wait_ticks, ring);
+  // Identical loops issuing identical ring requests at identical ticks:
+  // the second residency must queue behind the first on some channel.
+  EXPECT_GT(agg.ring_wait_ticks, 0);
+}
+
+// Repeated multi-tenant runs with the same admissions are bit-identical
+// — outcome by outcome, aggregate by aggregate.
+TEST(MultiEngineDeterminism, RepeatedRunsAreBitIdentical) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::table15_configs()[1];
+  const ExecPlan plan =
+      ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+
+  auto run_once = [&] {
+    MultiEngine engine(cfg);
+    engine.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+    engine.admit(p.methods[0], plan, 2 * cfg.width,
+                 BranchPredictor::Scenario::BP2, 3);
+    engine.admit(p.methods[0], plan, 4 * cfg.width,
+                 BranchPredictor::Scenario::BP1, 17);
+    std::vector<sim::ResidentId> order;
+    std::optional<sim::ResidentId> done;
+    while ((done = engine.advance()).has_value()) order.push_back(*done);
+    return std::make_pair(order, engine.finish());
+  };
+  const auto [order_a, agg_a] = run_once();
+  const auto [order_b, agg_b] = run_once();
+  ASSERT_EQ(order_a, order_b);
+  ASSERT_EQ(agg_a.residents.size(), agg_b.residents.size());
+  for (std::size_t i = 0; i < agg_a.residents.size(); ++i) {
+    EXPECT_EQ(agg_a.residents[i].metrics, agg_b.residents[i].metrics) << i;
+    EXPECT_EQ(agg_a.residents[i].completed_tick,
+              agg_b.residents[i].completed_tick)
+        << i;
+  }
+  EXPECT_EQ(agg_a.fabric_ticks, agg_b.fabric_ticks);
+  EXPECT_EQ(agg_a.ticks_res_2plus, agg_b.ticks_res_2plus);
+  EXPECT_EQ(agg_a.serial_wait_ticks, agg_b.serial_wait_ticks);
+  EXPECT_EQ(agg_a.mesh_wait_ticks, agg_b.mesh_wait_ticks);
+  EXPECT_EQ(agg_a.ring_wait_ticks, agg_b.ring_wait_ticks);
+}
+
+// advance(until) pauses at the requested tick; admissions interleaved
+// at the pause point behave exactly like admissions made up front.
+TEST(MultiEngineDeterminism, PausedAdmissionsMatchUpfrontAdmissions) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::table15_configs()[0];
+  const ExecPlan plan =
+      ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+
+  MultiEngine upfront(cfg);
+  upfront.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+  upfront.admit(p.methods[0], plan, 2 * cfg.width,
+                BranchPredictor::Scenario::BP1, 40);
+  while (upfront.advance().has_value()) {
+  }
+  const sim::MultiRunMetrics ref = upfront.finish();
+
+  MultiEngine paused(cfg);
+  paused.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+  // Drain strictly below tick 40, then admit the second residency as a
+  // serving frontend would on request arrival.
+  while (paused.advance(40).has_value()) {
+  }
+  EXPECT_EQ(paused.now(), 40);
+  paused.admit(p.methods[0], plan, 2 * cfg.width,
+               BranchPredictor::Scenario::BP1, 40);
+  while (paused.advance().has_value()) {
+  }
+  const sim::MultiRunMetrics got = paused.finish();
+
+  ASSERT_EQ(got.residents.size(), ref.residents.size());
+  for (std::size_t i = 0; i < ref.residents.size(); ++i) {
+    EXPECT_EQ(got.residents[i].metrics, ref.residents[i].metrics) << i;
+  }
+  EXPECT_EQ(got.ticks_res_2plus, ref.ticks_res_2plus);
+}
+
+// The tick budget times every live residency out at the first
+// over-budget event, mirroring the single engine's timeout semantics.
+TEST(MultiEngineTimeout, OverBudgetRunsFinalizeAsTimedOut) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  const sim::MachineConfig cfg = sim::table15_configs()[0];
+  const ExecPlan plan =
+      ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+  sim::MultiEngineOptions options;
+  options.max_ticks = 5;  // far below any completion
+  MultiEngine engine(cfg, options);
+  const sim::ResidentId id =
+      engine.admit(p.methods[0], plan, 0, BranchPredictor::Scenario::BP1, 0);
+  int completions = 0;
+  while (engine.advance().has_value()) ++completions;
+  ASSERT_EQ(completions, 1);
+  const sim::ResidentOutcome* out = engine.outcome(id);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->metrics.timed_out);
+  EXPECT_FALSE(out->metrics.completed);
+  EXPECT_EQ(out->completed_tick, -1);
+  EXPECT_TRUE(engine.idle());
+}
+
+// ---- request stream ----
+
+// A five-method serving corpus: the loop plus arithmetic chains of
+// increasing length, so co-resident runtimes differ.
+Program serve_program() {
+  Program p;
+  {
+    Assembler a(p, "serve.loop(IA)I", "serve");
+    a.args({ValueType::Int, ValueType::Ref}).returns(ValueType::Int);
+    auto body = a.new_label(), test = a.new_label();
+    a.goto_(test);
+    a.bind(body);
+    a.aload(1).iload(0).op(Op::iaload).istore(0);
+    a.iinc(0, -1);
+    a.bind(test);
+    a.iload(0).ifgt(body);
+    a.iload(0).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  for (int k = 1; k <= 4; ++k) {
+    Assembler a(p, "serve.chain" + std::to_string(k) + "(I)I", "serve");
+    a.args({ValueType::Int}).returns(ValueType::Int);
+    a.iload(0);
+    for (int i = 0; i < 3 * k; ++i) a.iload(0).op(Op::iadd);
+    a.op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  return p;
+}
+
+std::vector<std::int32_t> all_methods(const Program& p) {
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < p.methods.size(); ++i) {
+    out.push_back(static_cast<std::int32_t>(i));
+  }
+  return out;
+}
+
+TEST(RequestStream, DeterministicSortedAndInRange) {
+  serve::RequestStreamOptions opt;
+  opt.seed = 42;
+  opt.num_requests = 200;
+  opt.mean_gap_ticks = 16;
+  const auto a = serve::make_request_stream(7, opt);
+  const auto b = serve::make_request_stream(7, opt);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<std::int64_t>(i));
+    EXPECT_EQ(a[i].method_index, b[i].method_index);
+    EXPECT_EQ(a[i].arrival_tick, b[i].arrival_tick);
+    EXPECT_EQ(a[i].scenario, b[i].scenario);
+    EXPECT_GE(a[i].method_index, 0);
+    EXPECT_LT(a[i].method_index, 7);
+    if (i > 0) EXPECT_GT(a[i].arrival_tick, a[i - 1].arrival_tick);
+  }
+  opt.seed = 43;
+  const auto c = serve::make_request_stream(7, opt);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs = differs || a[i].method_index != c[i].method_index ||
+              a[i].arrival_tick != c[i].arrival_tick;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RequestStream, HotFractionConcentratesOnHotSet) {
+  serve::RequestStreamOptions opt;
+  opt.num_requests = 100;
+  opt.hot_fraction_256 = 256;  // every request is hot
+  opt.hot_methods = 2;
+  for (const serve::Request& r : serve::make_request_stream(50, opt)) {
+    EXPECT_LT(r.method_index, 2);
+  }
+}
+
+// ---- serving frontend ----
+
+// A single-method corpus serializes every request (§4.3), and each
+// one's RunMetrics must be bit-identical to a plain Engine::run of the
+// same (method, canonical plan, scenario) — full-stack N=1 parity.
+TEST(FabricServe, SingleMethodServingMatchesEngineRun) {
+  const Program p = loop_program();
+  const fabric::DataflowGraph graph =
+      fabric::build_dataflow_graph(p.methods[0], p.pool);
+  serve::RequestStreamOptions stream;
+  stream.seed = 7;
+  stream.num_requests = 6;
+  stream.mean_gap_ticks = 32;
+  const auto requests = serve::make_request_stream(1, stream);
+  for (const sim::MachineConfig& cfg :
+       {sim::config_by_name("Compact2"), sim::config_by_name("Hetero2")}) {
+    const ExecPlan plan =
+        ExecPlanBuilder().build(p.methods[0], graph, nullptr, cfg);
+    const serve::ServeReport rep = serve::serve(p, {0}, cfg, stream);
+    ASSERT_EQ(rep.requests, 6);
+    ASSERT_EQ(rep.completed, 6);
+    EXPECT_EQ(rep.ticks_res_2plus, 0) << "one method cannot overlap itself";
+    for (const serve::RequestOutcome& o : rep.outcomes) {
+      const RunMetrics ref = single_run(
+          cfg, p.methods[0], plan,
+          requests[static_cast<std::size_t>(o.request_id)].scenario);
+      ASSERT_EQ(o.metrics, ref) << cfg.name << " req " << o.request_id;
+      EXPECT_TRUE(o.plan_shared);
+      EXPECT_EQ(o.latency_ticks, o.completed_tick - o.arrival_tick);
+      EXPECT_GE(o.admitted_tick, o.arrival_tick);
+    }
+  }
+}
+
+// Distinct methods arriving faster than they finish must genuinely
+// co-execute on the shared fabric.
+TEST(FabricServe, HeterogeneousStreamOverlapsResidencies) {
+  const Program p = serve_program();
+  serve::RequestStreamOptions stream;
+  stream.seed = 11;
+  stream.num_requests = 32;
+  stream.mean_gap_ticks = 4;
+  stream.hot_fraction_256 = 0;  // uniform over all five methods
+  const serve::ServeReport rep =
+      serve::serve(p, all_methods(p), sim::config_by_name("Compact2"), stream);
+  EXPECT_EQ(rep.completed, rep.requests);
+  EXPECT_EQ(rep.rejected, 0);
+  EXPECT_EQ(rep.timed_out, 0);
+  EXPECT_GT(rep.ticks_res_2plus, 0);
+  EXPECT_GE(rep.ticks_res_1plus, rep.ticks_res_2plus);
+}
+
+// Repeated runs produce bit-identical reports, and the digest covers
+// enough state to prove it. JAVAFLOW_THREADS must not matter: the
+// serving calendar is single-threaded by construction.
+TEST(FabricServe, ReportIsBitIdenticalAcrossRunsAndThreadCounts) {
+  const Program p = serve_program();
+  serve::RequestStreamOptions stream;
+  stream.seed = 20141215;
+  stream.num_requests = 24;
+  stream.mean_gap_ticks = 8;
+  const sim::MachineConfig cfg = sim::config_by_name("Hetero2");
+  const serve::ServeReport a = serve::serve(p, all_methods(p), cfg, stream);
+  const serve::ServeReport b = serve::serve(p, all_methods(p), cfg, stream);
+  ASSERT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].metrics, b.outcomes[i].metrics) << i;
+    EXPECT_EQ(a.outcomes[i].completed_tick, b.outcomes[i].completed_tick) << i;
+  }
+  ::setenv("JAVAFLOW_THREADS", "7", 1);
+  const serve::ServeReport c = serve::serve(p, all_methods(p), cfg, stream);
+  ::unsetenv("JAVAFLOW_THREADS");
+  EXPECT_EQ(a.digest(), c.digest());
+}
+
+// A tiny fabric forces the server to recycle slots: methods are evicted
+// idle-LRU and reloaded, yet every request still completes.
+TEST(FabricServe, LruEvictionRecyclesTinyFabric) {
+  const Program p = serve_program();
+  sim::MachineConfig cfg = sim::config_by_name("Compact2");
+  cfg.capacity = 30;  // room for roughly two residents at a time
+  serve::RequestStreamOptions stream;
+  stream.seed = 3;
+  stream.num_requests = 40;
+  stream.mean_gap_ticks = 2;
+  stream.hot_fraction_256 = 0;
+  const serve::ServeReport rep = serve::serve(p, all_methods(p), cfg, stream);
+  EXPECT_EQ(rep.completed, rep.requests);
+  EXPECT_EQ(rep.rejected, 0);
+  EXPECT_GT(rep.evictions, 0);
+  EXPECT_GT(rep.loads, static_cast<std::int64_t>(p.methods.size()));
+  // Every load either shared the canonical plan or paid a lowering.
+  EXPECT_EQ(rep.plans_shared + rep.plans_lowered, rep.loads);
+  EXPECT_GT(rep.plans_shared, 0);
+}
+
+// A method that exceeds the fabric even when empty is rejected; smaller
+// methods in the same stream still complete.
+TEST(FabricServe, NeverFittingMethodIsRejected) {
+  Program p;
+  {
+    Assembler a(p, "serve.small(I)I", "serve");
+    a.args({ValueType::Int}).returns(ValueType::Int);
+    a.iload(0).iload(0).op(Op::iadd).op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  {
+    Assembler a(p, "serve.huge(I)I", "serve");
+    a.args({ValueType::Int}).returns(ValueType::Int);
+    a.iload(0);
+    for (int i = 0; i < 60; ++i) a.iload(0).op(Op::iadd);
+    a.op(Op::ireturn);
+    p.methods.push_back(a.build());
+  }
+  sim::MachineConfig cfg = sim::config_by_name("Compact2");
+  cfg.capacity = 20;
+  serve::RequestStreamOptions stream;
+  stream.seed = 9;
+  stream.num_requests = 16;
+  stream.hot_fraction_256 = 0;
+  const serve::ServeReport rep = serve::serve(p, {0, 1}, cfg, stream);
+  EXPECT_GT(rep.rejected, 0);
+  EXPECT_GT(rep.completed, 0);
+  EXPECT_EQ(rep.completed + rep.rejected + rep.timed_out, rep.requests);
+  for (const serve::RequestOutcome& o : rep.outcomes) {
+    EXPECT_EQ(o.rejected, o.method_index == 1) << o.request_id;
+  }
+}
+
+// Same-method serialization backs requests up behind a busy Anchor: the
+// queue visibly deepens and the latency percentiles stay ordered.
+TEST(FabricServe, QueueDepthAndLatencyPercentiles) {
+  const Program p = loop_program();
+  serve::RequestStreamOptions stream;
+  stream.seed = 5;
+  stream.num_requests = 20;
+  stream.mean_gap_ticks = 1;  // burst: arrivals far outpace completions
+  const serve::ServeReport rep =
+      serve::serve(p, {0}, sim::config_by_name("Compact2"), stream);
+  ASSERT_EQ(rep.completed, rep.requests);
+  EXPECT_GE(rep.max_queue_depth, 2);
+  ASSERT_GE(rep.latency_p50, 0);
+  EXPECT_LE(rep.latency_p50, rep.latency_p95);
+  EXPECT_LE(rep.latency_p95, rep.latency_p99);
+  EXPECT_LE(rep.latency_p99, rep.latency_max);
+  EXPECT_GT(rep.latency_mean_x1000, 0);
+  // Queued requests wait; the worst latency must exceed the best by at
+  // least one full service time's worth of queueing.
+  EXPECT_GT(rep.latency_max, rep.latency_p50);
+}
+
+// An over-tight fabric budget times requests out instead of hanging the
+// server; accounting still balances.
+TEST(FabricServe, FabricTickBudgetTimesRequestsOut) {
+  const Program p = loop_program();
+  serve::RequestStreamOptions stream;
+  stream.seed = 2;
+  stream.num_requests = 5;
+  stream.mean_gap_ticks = 4;
+  serve::ServeOptions options;
+  options.max_fabric_ticks = 10;  // below any loop completion
+  const serve::ServeReport rep = serve::serve(
+      p, {0}, sim::config_by_name("Compact2"), stream, options);
+  EXPECT_EQ(rep.completed, 0);
+  EXPECT_EQ(rep.timed_out, rep.requests);
+  for (const serve::RequestOutcome& o : rep.outcomes) {
+    EXPECT_TRUE(o.timed_out);
+    EXPECT_EQ(o.completed_tick, -1);
+  }
+}
+
+// The digest moves when behavior moves: a different seed or a different
+// config cannot collide on these small streams.
+TEST(FabricServe, DigestTracksBehavior) {
+  const Program p = serve_program();
+  serve::RequestStreamOptions stream;
+  stream.seed = 1;
+  stream.num_requests = 12;
+  const sim::MachineConfig compact = sim::config_by_name("Compact2");
+  const serve::ServeReport base = serve::serve(p, all_methods(p), compact, stream);
+  serve::RequestStreamOptions other = stream;
+  other.seed = 2;
+  EXPECT_NE(base.digest(),
+            serve::serve(p, all_methods(p), compact, other).digest());
+  EXPECT_NE(base.digest(),
+            serve::serve(p, all_methods(p), sim::config_by_name("Hetero2"),
+                         stream)
+                .digest());
+}
+
+}  // namespace
+}  // namespace javaflow

@@ -3,6 +3,8 @@
 
 Usage: bench_gate.py BENCH_sweep.json bench/BENCH_history.json
                      [--no-append] [--snapshot FILE.jfs]
+                     [--serving BENCH_serving.json]
+       bench_gate.py --serving BENCH_serving.json
 
 Replaces the old hardcoded 4,000 cells/s constant (docs/PERF.md "CI
 regression gate"): the floor is now derived from the committed history —
@@ -28,6 +30,18 @@ trailing FNV-64 checksum of the .jfs file, as printed by
 `javaflow_explain --digest`) alongside cells/s in the appended history
 entry, tying each throughput point to the exact simulation results that
 produced it.
+
+--serving BENCH_serving.json additionally gates the multi-tenant
+serving benchmark (docs/SERVING.md): the run's `identical` flag
+(digest-equal reruns on every config) and `overlap_ok` flag (non-zero
+Chapter 8 superposition witness on the wider fabrics) must both be
+true, and `requests_per_second` must clear 80% of the median over the
+history entries that already carry `serving_requests_per_second`
+(entries predating the serving bench are skipped; with none present
+the throughput is recorded without gating). The appended history entry
+then carries `serving_requests_per_second`. With `--serving` alone (no
+positional arguments) only the serving checks run and nothing is
+appended.
 
 Exit codes: 0 pass, 1 regression/divergence, 2 usage or malformed input.
 """
@@ -56,10 +70,46 @@ def snapshot_digest(path: str) -> str:
     return format(struct.unpack("<Q", data[-8:])[0], "016x")
 
 
+def check_serving(serving_path: str, history: list | None) -> float:
+    """Gates BENCH_serving.json; returns its aggregate requests/s."""
+    try:
+        with open(serving_path) as f:
+            serving = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    if not serving.get("identical", False):
+        fail("serving rerun digests diverged (identical=false)")
+    if not serving.get("overlap_ok", False):
+        fail("serving run never overlapped residencies (overlap_ok=false)")
+
+    rps = serving.get("requests_per_second", 0.0)
+    window = [
+        e["serving_requests_per_second"]
+        for e in (history or [])[-HISTORY_WINDOW:]
+        if "serving_requests_per_second" in e
+    ]
+    if window:
+        floor = FLOOR_FRACTION * statistics.median(window)
+        print(
+            f"bench_gate: serving {rps:.1f} req/s, floor {floor:.1f} "
+            f"(median of {len(window)} serving entries)"
+        )
+        if rps < floor:
+            fail(f"serving throughput regressed: {rps:.1f} < {floor:.1f} "
+                 "req/s")
+    else:
+        print(f"bench_gate: serving {rps:.1f} req/s "
+              "(no serving history yet, recording only)")
+    return rps
+
+
 def main(argv: list[str]) -> int:
     rest = argv[1:]
     append = "--no-append" not in rest
     snapshot_path = None
+    serving_path = None
     args = []
     i = 0
     while i < len(rest):
@@ -71,9 +121,19 @@ def main(argv: list[str]) -> int:
                 print(__doc__, file=sys.stderr)
                 return 2
             snapshot_path = rest[i]
+        elif rest[i] == "--serving":
+            i += 1
+            if i >= len(rest):
+                print(__doc__, file=sys.stderr)
+                return 2
+            serving_path = rest[i]
         else:
             args.append(rest[i])
         i += 1
+    if len(args) == 0 and serving_path is not None:
+        # Standalone serving gate: no history to compare or append to.
+        check_serving(serving_path, None)
+        return 0
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -116,6 +176,10 @@ def main(argv: list[str]) -> int:
     if got < floor:
         fail(f"serial sweep regressed: {got:.1f} < {floor:.1f} cells/s")
 
+    serving_rps = None
+    if serving_path is not None:
+        serving_rps = check_serving(serving_path, history)
+
     digest = None
     if snapshot_path is not None:
         try:
@@ -139,6 +203,8 @@ def main(argv: list[str]) -> int:
         }
         if digest is not None:
             entry["snapshot_digest"] = digest
+        if serving_rps is not None:
+            entry["serving_requests_per_second"] = serving_rps
         history.append(entry)
         history = history[-HISTORY_CAP:]
         with open(history_path, "w") as f:
